@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments                  # run everything at full budgets
+//	experiments -run fig5        # one experiment
+//	experiments -quick           # reduced budgets (CI-sized)
+//	experiments -list            # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shardstore/internal/experiments"
+)
+
+func main() {
+	runName := flag.String("run", "", "run a single experiment by name (default: all)")
+	quick := flag.Bool("quick", false, "reduced budgets")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-14s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	toRun := experiments.All()
+	if *runName != "" {
+		e, ok := experiments.Lookup(*runName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runName)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		start := time.Now()
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "\nEXPERIMENT %s FAILED: %v\n", e.Name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("\n[%s completed in %s]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

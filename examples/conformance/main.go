@@ -1,0 +1,62 @@
+// Conformance: the paper's core workflow (§4). Run property-based
+// conformance checking of the whole storage node against its crash-extended
+// reference model, then seed one of the production bugs from Fig 5 and watch
+// the same harness find and minimize it.
+//
+//	go run ./examples/conformance
+package main
+
+import (
+	"fmt"
+
+	"shardstore/internal/core"
+	"shardstore/internal/faults"
+)
+
+func main() {
+	fmt.Println("1) clean run: random op sequences with crashes, reboots, and IO")
+	fmt.Println("   fault injection, checked against the reference model ...")
+	cfg := core.Config{
+		Seed:               7,
+		Cases:              500,
+		OpsPerCase:         40,
+		Bias:               core.DefaultBias(),
+		EnableCrashes:      true,
+		EnableReboots:      true,
+		EnableFailures:     true,
+		EnableControlPlane: true,
+		Minimize:           true,
+	}
+	res := core.Run(cfg)
+	fmt.Printf("   %d sequences, %d operations, %d crashes: ", res.Cases, res.Ops, res.Crashes)
+	if res.Failure == nil {
+		fmt.Println("no violations")
+	} else {
+		fmt.Printf("UNEXPECTED violation: %v\n", res.Failure.Err)
+		return
+	}
+
+	fmt.Println()
+	fmt.Println("2) seed bug #9 from the paper's Fig 5 (reference model mishandles")
+	fmt.Println("   crashes during reclamation) and hunt it with the same harness ...")
+	det := core.DetectSequential(faults.Bug9RefModelCrashReclaim, 7, 10000)
+	if !det.Detected {
+		fmt.Println("   not detected (try a larger budget)")
+		return
+	}
+	orig := core.StatsOf(det.Failure.Seq)
+	min := core.StatsOf(det.Failure.Minimized)
+	fmt.Printf("   detected after %d sequences\n", det.CasesNeeded)
+	fmt.Printf("   original failing sequence: %d ops, %d crashes, %d bytes written\n",
+		orig.Ops, orig.Crashes, orig.BytesWritten)
+	fmt.Printf("   after automatic minimization: %d ops, %d crashes, %d bytes\n",
+		min.Ops, min.Crashes, min.BytesWritten)
+	fmt.Println("   minimized counterexample (replayable as a unit test):")
+	for i, op := range det.Failure.Minimized {
+		fmt.Printf("     %2d. %s\n", i, op)
+	}
+	fmt.Printf("   violation: %v\n", det.Failure.MinimizedErr)
+	fmt.Println()
+	fmt.Println("   (paper's bug #9 anecdote: 61 ops / 9 crashes / 226 KiB minimized")
+	fmt.Println("    to 6 ops / 1 crash / 2 B — same shape)")
+}

@@ -1,0 +1,3 @@
+module shardstore
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package buffercache implements the chunk-granularity read cache that sits
+// between the chunk store and the disk.
+//
+// Entries are keyed by chunk locator (extent, offset). Because extents are
+// recycled by reclamation — reset and then rewritten from offset zero — a
+// locator can be reborn naming different data, so the cache must be drained
+// for an extent when it is reset. Failing to do so is the paper's bug #2
+// ("cache was not correctly drained after resetting an extent"), and the
+// paper's §8.3 missed-bug anecdote (a cache sized so large that tests never
+// exercised the miss path) motivates the hit/miss coverage probes.
+package buffercache
+
+import (
+	"shardstore/internal/coverage"
+	"shardstore/internal/disk"
+	"shardstore/internal/vsync"
+)
+
+// Key identifies a cached chunk by physical position.
+type Key struct {
+	Extent disk.ExtentID
+	Offset int
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+	Drains    uint64
+}
+
+type entry struct {
+	key      Key
+	ownerKey string
+	data     []byte
+	prev     *entry
+	next     *entry
+}
+
+// Cache is a fixed-capacity LRU cache of chunk payloads. It is safe for
+// concurrent use and model-checkable.
+type Cache struct {
+	mu       vsync.Mutex
+	cov      *coverage.Registry
+	capacity int
+	entries  map[Key]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	stats    Stats
+}
+
+// New creates a cache holding up to capacity chunks. Capacity 0 disables
+// caching entirely (every lookup misses).
+func New(capacity int, cov *coverage.Registry) *Cache {
+	return &Cache{
+		cov:      cov,
+		capacity: capacity,
+		entries:  make(map[Key]*entry),
+	}
+}
+
+// Get returns the cached payload and owning key for k, or (nil, "") if
+// absent. The returned slice must not be mutated.
+func (c *Cache) Get(k Key) ([]byte, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		c.cov.Hit("cache.miss")
+		return nil, ""
+	}
+	c.stats.Hits++
+	c.cov.Hit("cache.hit")
+	c.moveToFrontLocked(e)
+	return e.data, e.ownerKey
+}
+
+// Insert caches data (owned by ownerKey) under k, evicting the least
+// recently used entry when over capacity. data is copied.
+func (c *Cache) Insert(k Key, ownerKey string, data []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		e.data = append([]byte(nil), data...)
+		e.ownerKey = ownerKey
+		c.moveToFrontLocked(e)
+		return
+	}
+	e := &entry{key: k, ownerKey: ownerKey, data: append([]byte(nil), data...)}
+	c.entries[k] = e
+	c.pushFrontLocked(e)
+	c.stats.Inserts++
+	for len(c.entries) > c.capacity {
+		lru := c.tail
+		c.removeLocked(lru)
+		delete(c.entries, lru.key)
+		c.stats.Evictions++
+		c.cov.Hit("cache.evict")
+	}
+}
+
+// Invalidate removes the entry for k, if any.
+func (c *Cache) Invalidate(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		c.removeLocked(e)
+		delete(c.entries, k)
+	}
+}
+
+// DrainExtent removes every entry on ext. Called when an extent is reset so
+// recycled locators cannot serve stale data (bug #2 site — the caller skips
+// this under the seeded fault).
+func (c *Cache) DrainExtent(ext disk.ExtentID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Drains++
+	c.cov.Hit("cache.drain")
+	for k, e := range c.entries {
+		if k.Extent == ext {
+			c.removeLocked(e)
+			delete(c.entries, k)
+		}
+	}
+}
+
+// DrainAll empties the cache.
+func (c *Cache) DrainAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*entry)
+	c.head, c.tail = nil, nil
+}
+
+// Len returns the number of cached chunks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFrontLocked(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.removeLocked(e)
+	c.pushFrontLocked(e)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"shardstore/internal/faults"
+)
+
+// TestDetectSeededBugs is the heart of the Fig 5 reproduction: each seeded
+// sequential/crash bug must be detected by its designated checker class
+// within a bounded number of random cases — and the baseline (everything
+// fixed) must stay clean under the same budgets, which
+// TestCleanConformanceBaseline covers.
+func TestDetectSeededBugs(t *testing.T) {
+	cases := []struct {
+		bug      faults.Bug
+		maxCases int
+	}{
+		{faults.Bug1ReclaimOffByOne, 4000},
+		{faults.Bug2CacheNotDrained, 4000},
+		{faults.Bug3ShutdownMetadataSkip, 4000},
+		{faults.Bug4DiskReturnLosesShard, 2000},
+		{faults.Bug5ReclaimIOErrorDrop, 6000},
+		{faults.Bug6SuperblockOwnershipDep, 8000},
+		{faults.Bug7SoftHardPointerSkew, 8000},
+		{faults.Bug8CacheWriteMissingDep, 4000},
+		{faults.Bug9RefModelCrashReclaim, 4000},
+		{faults.Bug10UUIDCollision, 40000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		info, _ := faults.Lookup(tc.bug)
+		t.Run(info.Component+"_"+tc.bug.String(), func(t *testing.T) {
+			if testing.Short() && tc.maxCases > 10000 {
+				t.Skip("long detection run")
+			}
+			res := DetectSequential(tc.bug, 1234, tc.maxCases)
+			if !res.Detected {
+				t.Fatalf("%v (%s) not detected by %v within %d cases",
+					tc.bug, info.Description, res.Checker, tc.maxCases)
+			}
+			t.Logf("%v detected after %d cases (%d ops); minimized to %d ops: %v",
+				tc.bug, res.CasesNeeded, res.Ops, len(res.Failure.Minimized), res.Failure.MinimizedErr)
+		})
+	}
+}

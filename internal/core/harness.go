@@ -1,0 +1,620 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/coverage"
+	"shardstore/internal/disk"
+	"shardstore/internal/extent"
+	"shardstore/internal/faults"
+	"shardstore/internal/model"
+	"shardstore/internal/prop"
+	"shardstore/internal/store"
+)
+
+// Config tunes a conformance run (the §4 property-based test).
+type Config struct {
+	// Seed roots the whole run; 0 means 1.
+	Seed int64
+	// Cases is the number of random op sequences (default 200).
+	Cases int
+	// OpsPerCase is the sequence length (default 40).
+	OpsPerCase int
+	// Bias tunes argument selection (§4.2).
+	Bias Bias
+	// StoreConfig configures the system under test. Bugs/Coverage inside it
+	// are honored.
+	StoreConfig store.Config
+	// EnableCrashes includes DirtyReboot in the alphabet (§5).
+	EnableCrashes bool
+	// EnableReboots includes CleanReboot in the alphabet.
+	EnableReboots bool
+	// EnableFailures includes IO failure injection (§4.4).
+	EnableFailures bool
+	// EnableControlPlane includes List/RemoveDisk/ReturnDisk.
+	EnableControlPlane bool
+	// ExhaustiveCrash enumerates block-level crash states at each
+	// DirtyReboot instead of sampling one (§5, the BOB/CrashMonkey-style
+	// variant). Exponential in dirty pages; bounded by ExhaustiveCap.
+	ExhaustiveCrash bool
+	// ExhaustiveCap bounds the enumerated crash states per reboot (default
+	// 256).
+	ExhaustiveCap int
+	// Minimize shrinks failing sequences (§4.3). Default true via Run.
+	Minimize bool
+	// ShrinkBudget bounds replays during minimization (default 2000).
+	ShrinkBudget int
+	// InvariantEvery checks full model/implementation equivalence every N
+	// ops (default 4; 1 = after every op as in Fig 3).
+	InvariantEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Cases == 0 {
+		c.Cases = 200
+	}
+	if c.OpsPerCase == 0 {
+		c.OpsPerCase = 40
+	}
+	if c.ExhaustiveCap == 0 {
+		c.ExhaustiveCap = 256
+	}
+	if c.ShrinkBudget == 0 {
+		c.ShrinkBudget = 2000
+	}
+	if c.InvariantEvery == 0 {
+		c.InvariantEvery = 4
+	}
+	if c.StoreConfig.Disk.PageSize == 0 {
+		c.StoreConfig.Disk = disk.DefaultConfig()
+	}
+	if c.StoreConfig.Bugs == nil {
+		c.StoreConfig.Bugs = faults.NewSet()
+	}
+	if c.StoreConfig.Coverage == nil {
+		c.StoreConfig.Coverage = coverage.NewRegistry()
+	}
+	if c.Bias.UUIDZeroBias > 0 && c.StoreConfig.UUIDZeroBias == 0 {
+		c.StoreConfig.UUIDZeroBias = c.Bias.UUIDZeroBias
+	}
+	return c
+}
+
+// Failure reports one failing sequence.
+type Failure struct {
+	Case      int
+	Seed      int64
+	Seq       []Op
+	Minimized []Op
+	Err       error
+	// MinimizedErr is the violation the minimized sequence produces (it may
+	// differ in wording from Err while exposing the same bug).
+	MinimizedErr error
+}
+
+// Result summarizes a conformance run.
+type Result struct {
+	Cases   int
+	Ops     int64
+	Crashes int64
+	Failure *Failure
+}
+
+// Run executes the conformance check: Cases random sequences, each applied
+// in lockstep to a fresh store and reference model. The first failure is
+// minimized and returned; nil Failure means every case passed (which, as §8.3
+// reminds us, "does not mean the code is correct, only that the checker
+// could not find a bug").
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{}
+	for i := 0; i < cfg.Cases; i++ {
+		seed := prop.CaseSeed(cfg.Seed, i)
+		r := rand.New(rand.NewSource(seed))
+		seq := GenerateSeq(r, cfg)
+		ops, crashes, err := RunSeq(seq, cfg)
+		res.Cases++
+		res.Ops += int64(ops)
+		res.Crashes += int64(crashes)
+		if err == nil {
+			continue
+		}
+		f := &Failure{Case: i, Seed: seed, Seq: seq, Minimized: seq, Err: err, MinimizedErr: err}
+		if cfg.Minimize {
+			fails := func(cand []Op) bool {
+				_, _, cerr := RunSeq(cand, cfg)
+				return cerr != nil
+			}
+			f.Minimized = prop.MinimizeSeq(seq, fails, ShrinkOp, cfg.ShrinkBudget)
+			if _, _, merr := RunSeq(f.Minimized, cfg); merr != nil {
+				f.MinimizedErr = merr
+			}
+		}
+		res.Failure = f
+		return res
+	}
+	return res
+}
+
+// execState is the per-sequence mutable state.
+type execState struct {
+	cfg       Config
+	d         *disk.Disk
+	st        *store.Store
+	ref       *model.RefStore
+	inService bool
+	opsRun    int
+	crashes   int
+	// injected counts FailDiskOnce ops; outstanding() compares it with the
+	// disk's consumed-fault counter to decide whether a read error can still
+	// be blamed on the environment.
+	injected uint64
+}
+
+// outstanding returns the number of injected faults that have not yet fired.
+func (es *execState) outstanding() uint64 {
+	consumed := es.d.Stats().InjectedErrs
+	if consumed >= es.injected {
+		return 0
+	}
+	return es.injected - consumed
+}
+
+// RunSeq applies one operation sequence and returns (ops applied, crashes
+// taken, first violation).
+func RunSeq(seq []Op, cfg Config) (int, int, error) {
+	cfg = cfg.withDefaults()
+	st, d, err := store.New(cfg.StoreConfig)
+	if err != nil {
+		return 0, 0, fmt.Errorf("harness: store setup: %w", err)
+	}
+	es := &execState{cfg: cfg, d: d, st: st, ref: model.NewRefStore(cfg.StoreConfig.Bugs), inService: true}
+	for i, op := range seq {
+		if err := es.apply(op); err != nil {
+			return es.opsRun, es.crashes, fmt.Errorf("op %d %s: %w", i, op, err)
+		}
+		es.opsRun++
+		if cfg.InvariantEvery > 0 && (i+1)%cfg.InvariantEvery == 0 {
+			if err := es.checkInvariants(); err != nil {
+				return es.opsRun, es.crashes, fmt.Errorf("after op %d %s: %w", i, op, err)
+			}
+		}
+	}
+	if err := es.checkInvariants(); err != nil {
+		return es.opsRun, es.crashes, fmt.Errorf("final check: %w", err)
+	}
+	return es.opsRun, es.crashes, nil
+}
+
+// reopen recovers a store on the disk, retrying a few times because a
+// pending injected transient fault can fail the first recovery attempt
+// (transients clear once they fire).
+func (es *execState) reopen() (*store.Store, error) {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		var ns *store.Store
+		ns, err = store.Open(es.d, es.cfg.StoreConfig)
+		if err == nil {
+			return ns, nil
+		}
+		if !es.ref.HasFailed() {
+			break
+		}
+	}
+	return nil, err
+}
+
+// implRead adapts store.Get to the model's read signature: (nil, nil) for
+// not-found, error only for conclusive failures. Transient injected faults
+// are retried through — they fire once — so an error returned here means the
+// data is genuinely unreadable.
+func (es *execState) implRead(key string) ([]byte, error) {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		pending := es.outstanding() > 0
+		var v []byte
+		v, err = es.st.Get(key)
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, nil
+		}
+		if err == nil {
+			return v, nil
+		}
+		if !pending {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// benignResourceErr reports whether err is resource exhaustion (disk full).
+// The paper explicitly excludes resource exhaustion from property-based
+// testing because there is no tractable correctness oracle for it (§4.4);
+// the harness treats such failures as clean no-ops.
+func benignResourceErr(err error) bool {
+	return errors.Is(err, extent.ErrNoFreeExtent) ||
+		errors.Is(err, extent.ErrExtentFull) ||
+		errors.Is(err, chunk.ErrChunkTooBig)
+}
+
+// opFailure converts an unexpected implementation error into a violation,
+// honoring the §4.4 has-failed relaxation and the resource-exhaustion
+// exclusion.
+func (es *execState) opFailure(what string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if benignResourceErr(err) {
+		return nil
+	}
+	if es.ref.HasFailed() {
+		return nil // implementation operations may fail after injected faults
+	}
+	return fmt.Errorf("%s failed with no fault injected: %w", what, err)
+}
+
+func (es *execState) apply(op Op) error {
+	es.st.Reseed(op.Tag)
+	switch op.Kind {
+	case OpGet:
+		if !es.inService {
+			return es.expectOutOfService(func() error { _, err := es.st.Get(op.Key); return err })
+		}
+		got, err := es.implRead(op.Key)
+		gotErr := err != nil
+		if cerr := es.ref.CheckRead(op.Key, got, gotErr); cerr != nil {
+			return cerr
+		}
+		if !gotErr && es.ref.HasFailed() {
+			es.ref.ResolveMaybe(op.Key, got)
+		}
+		return nil
+
+	case OpPut:
+		if !es.inService {
+			return es.expectOutOfService(func() error { _, err := es.st.Put(op.Key, op.Value); return err })
+		}
+		d, err := es.st.Put(op.Key, op.Value)
+		if err != nil {
+			if benignResourceErr(err) {
+				return nil // disk full: the put did not take effect
+			}
+			if ferr := es.opFailure("Put", err); ferr != nil {
+				return ferr
+			}
+			es.ref.ApplyPut(op.Key, op.Value, nil, true)
+			return nil
+		}
+		es.ref.ApplyPut(op.Key, op.Value, d, false)
+		return nil
+
+	case OpDelete:
+		if !es.inService {
+			return es.expectOutOfService(func() error { _, err := es.st.Delete(op.Key); return err })
+		}
+		d, err := es.st.Delete(op.Key)
+		if err != nil {
+			if ferr := es.opFailure("Delete", err); ferr != nil {
+				return ferr
+			}
+			es.ref.ApplyDelete(op.Key, nil, true)
+			return nil
+		}
+		es.ref.ApplyDelete(op.Key, d, false)
+		return nil
+
+	case OpList:
+		if !es.inService {
+			return nil
+		}
+		ids, err := es.st.List()
+		if err != nil {
+			return es.opFailure("List", err)
+		}
+		return es.checkListing(ids)
+
+	case OpFlushIndex:
+		if !es.inService {
+			return nil
+		}
+		_, err := es.st.FlushIndex()
+		return es.opFailure("FlushIndex", err)
+
+	case OpFlushSuperblock:
+		if !es.inService {
+			return nil
+		}
+		_, err := es.st.FlushSuperblock()
+		return es.opFailure("FlushSuperblock", err)
+
+	case OpSchedStep:
+		es.st.SchedStep()
+		return nil
+
+	case OpSchedSync:
+		return es.opFailure("SchedSync", es.st.SchedSync())
+
+	case OpPump:
+		if !es.inService {
+			return nil
+		}
+		return es.opFailure("Pump", es.st.Pump())
+
+	case OpCompactIndex:
+		if !es.inService {
+			return nil
+		}
+		return es.opFailure("CompactIndex", es.st.CompactIndex())
+
+	case OpReclaim:
+		if !es.inService {
+			return nil
+		}
+		ext := disk.ExtentID(op.Extent % es.cfg.StoreConfig.Disk.ExtentCount)
+		err := es.st.Reclaim(ext)
+		es.ref.MarkReclaim()
+		if err != nil {
+			if errors.Is(err, chunk.ErrBusy) || errors.Is(err, chunk.ErrAborted) {
+				return nil // busy extents and fault-aborted reclaims are expected
+			}
+			// Reclaiming a non-data extent is rejected; that's fine too.
+			return nil
+		}
+		return nil
+
+	case OpDrainCache:
+		es.st.DrainCache()
+		return nil
+
+	case OpRemoveDisk:
+		if !es.inService {
+			return nil
+		}
+		if err := es.opFailure("RemoveFromService", es.st.RemoveFromService()); err != nil {
+			return err
+		}
+		es.inService = false
+		return nil
+
+	case OpReturnDisk:
+		if es.inService {
+			return nil
+		}
+		ns, err := es.st.ReturnToService()
+		if err != nil {
+			ns, err = es.reopen()
+			if err != nil {
+				return es.opFailure("ReturnToService", err)
+			}
+		}
+		es.st = ns
+		es.inService = true
+		return nil
+
+	case OpFailDiskOnce:
+		ext := disk.ExtentID(op.Extent % es.cfg.StoreConfig.Disk.ExtentCount)
+		es.d.InjectFailOnce(ext)
+		es.injected++
+		es.ref.MarkFailed()
+		return nil
+
+	case OpCleanReboot:
+		if !es.inService {
+			return nil
+		}
+		es.crashes += 0
+		if err := es.st.CleanShutdown(); err != nil {
+			if benignResourceErr(err) {
+				// Shutdown could not flush for lack of space, so buffered
+				// mutations may be lost across the reopen: model it exactly
+				// like a dirty transition (persistent data must survive,
+				// in-flight data may not).
+				ns, rerr := es.reopen()
+				if rerr != nil {
+					return fmt.Errorf("recovery after failed shutdown: %w", rerr)
+				}
+				es.st = ns
+				return es.ref.AdoptDirtyReboot(es.implRead)
+			}
+			return es.opFailure("CleanShutdown", err)
+		}
+		// Forward progress (§5): after a clean shutdown every dependency
+		// must report persistent.
+		if !es.ref.HasFailed() {
+			if err := es.ref.CheckCleanShutdown(); err != nil {
+				return err
+			}
+		}
+		ns, err := es.reopen()
+		if err != nil {
+			return fmt.Errorf("recovery after clean reboot: %w", err)
+		}
+		es.st = ns
+		return nil
+
+	case OpDirtyReboot:
+		return es.dirtyReboot(op)
+
+	default:
+		return fmt.Errorf("harness: unknown op kind %v", op.Kind)
+	}
+}
+
+// expectOutOfService asserts that an op on an out-of-service disk fails with
+// exactly ErrOutOfService.
+func (es *execState) expectOutOfService(call func() error) error {
+	err := call()
+	if !errors.Is(err, store.ErrOutOfService) {
+		return fmt.Errorf("op on out-of-service disk returned %v, want ErrOutOfService", err)
+	}
+	return nil
+}
+
+// checkListing validates a control-plane listing against the model: every
+// definitely-present shard must be listed, and nothing definitely-absent may
+// be listed.
+func (es *execState) checkListing(ids []string) error {
+	listed := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		listed[id] = true
+	}
+	for _, key := range es.ref.Keys() {
+		v, present := es.ref.MustBePresent(key)
+		_ = v
+		if present && !listed[key] {
+			return fmt.Errorf("List omitted shard %q that must be present", key)
+		}
+		if !present {
+			if allowed := es.ref.Expected(key); len(allowed) == 1 && allowed[0] == nil && listed[key] {
+				return fmt.Errorf("List returned shard %q that must be absent", key)
+			}
+		}
+	}
+	return nil
+}
+
+// checkInvariants is the Fig 3 check_invariants: the implementation and the
+// reference model must agree on the key-value mapping (modulo the §4.4
+// relaxation and crash ambiguity).
+func (es *execState) checkInvariants() error {
+	if !es.inService {
+		return nil
+	}
+	for _, key := range es.ref.Keys() {
+		got, err := es.implRead(key)
+		if cerr := es.ref.CheckRead(key, got, err != nil); cerr != nil {
+			return fmt.Errorf("invariant: %w", cerr)
+		}
+	}
+	// No phantom keys: everything the implementation lists must be at least
+	// possibly present in the model.
+	var implKeys []string
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		pending := es.outstanding() > 0
+		implKeys, err = es.st.Keys()
+		if err == nil {
+			break
+		}
+		if !pending {
+			return fmt.Errorf("invariant: Keys failed: %w", err)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("invariant: Keys failed repeatedly: %w", err)
+	}
+	for _, k := range implKeys {
+		allowed := es.ref.Expected(k)
+		if len(allowed) == 1 && allowed[0] == nil {
+			return fmt.Errorf("invariant: implementation has phantom shard %q", k)
+		}
+	}
+	return nil
+}
+
+// dirtyReboot implements the DirtyReboot(RebootType) op of §5: optional
+// component flushes, a crash that tears the disk cache, recovery, and the
+// persistence check through the model's crash extension.
+func (es *execState) dirtyReboot(op Op) error {
+	if es.inService {
+		if op.Flags&RebootFlushIndex != 0 {
+			if _, err := es.st.FlushIndex(); err != nil && !es.ref.HasFailed() && !benignResourceErr(err) {
+				return fmt.Errorf("reboot index flush: %w", err)
+			}
+		}
+		if op.Flags&RebootFlushSuperblock != 0 {
+			if _, err := es.st.FlushSuperblock(); err != nil && !es.ref.HasFailed() {
+				return fmt.Errorf("reboot superblock flush: %w", err)
+			}
+		}
+		if op.Flags&RebootSchedStep != 0 {
+			es.st.SchedStep()
+		}
+		if op.Flags&RebootSchedSync != 0 {
+			if err := es.st.SchedSync(); err != nil && !es.ref.HasFailed() {
+				return fmt.Errorf("reboot sched sync: %w", err)
+			}
+		}
+	}
+	es.crashes++
+	if es.cfg.ExhaustiveCrash {
+		return es.exhaustiveCrash(op)
+	}
+	rng := rand.New(rand.NewSource(op.CrashSeed))
+	es.st.Crash(rng)
+	ns, err := es.reopen()
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	es.st = ns
+	es.inService = true
+	if err := es.ref.AdoptDirtyReboot(es.implRead); err != nil {
+		return err
+	}
+	return nil
+}
+
+// exhaustiveCrash enumerates block-level crash states (§5): every subset of
+// the dirty pages (up to ExhaustiveCap), checking recovery + the persistence
+// property in each, then continues execution from the last state.
+func (es *execState) exhaustiveCrash(op Op) error {
+	dirty := es.d.DirtyPages()
+	n := len(dirty)
+	subsets := 1 << uint(minInt(n, 20))
+	if subsets > es.cfg.ExhaustiveCap {
+		subsets = es.cfg.ExhaustiveCap
+	}
+	snap := es.d.Snapshot()
+	for mask := 0; mask < subsets; mask++ {
+		es.d.Restore(snap)
+		m := mask
+		es.st.CrashKeep(func(a disk.PageAddr) bool {
+			for i, da := range dirty {
+				if da == a {
+					return m&(1<<uint(i)) != 0
+				}
+			}
+			return false
+		})
+		ns, err := store.Open(es.d, es.cfg.StoreConfig)
+		if err != nil {
+			return fmt.Errorf("exhaustive recovery (mask %x): %w", mask, err)
+		}
+		refClone := es.ref.Clone()
+		readClone := func(key string) ([]byte, error) {
+			v, err := ns.Get(key)
+			if errors.Is(err, store.ErrNotFound) {
+				return nil, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+		if err := refClone.AdoptDirtyReboot(readClone); err != nil {
+			return fmt.Errorf("crash state %x of %x: %w", mask, subsets, err)
+		}
+		if mask == subsets-1 {
+			// Continue the sequence from the final enumerated state.
+			es.st = ns
+			es.inService = true
+			if err := es.ref.AdoptDirtyReboot(readClone); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

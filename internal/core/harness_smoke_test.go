@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestCleanConformanceBaseline is the foundational soundness check: with
+// every seeded bug disabled, the conformance harness must find no violations
+// across sequential, rebooting, crashing, and failure-injecting workloads.
+// A failure here is a false positive in the harness or a real bug in the
+// storage stack — both must be fixed before the Fig 5 experiments mean
+// anything.
+func TestCleanConformanceBaseline(t *testing.T) {
+	modes := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"sequential", func(c *Config) {}},
+		{"reboots", func(c *Config) { c.EnableReboots = true }},
+		{"crashes", func(c *Config) { c.EnableCrashes = true; c.EnableReboots = true }},
+		{"failures", func(c *Config) { c.EnableFailures = true }},
+		{"control-plane", func(c *Config) { c.EnableControlPlane = true }},
+		{"everything", func(c *Config) {
+			c.EnableCrashes = true
+			c.EnableReboots = true
+			c.EnableFailures = true
+			c.EnableControlPlane = true
+		}},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			cfg := Config{Seed: 42, Cases: 60, OpsPerCase: 40, Bias: DefaultBias()}
+			m.mut(&cfg)
+			res := Run(cfg)
+			if res.Failure != nil {
+				t.Fatalf("clean run found spurious failure (case %d, seed %d): %v\nminimized (%d ops): %v",
+					res.Failure.Case, res.Failure.Seed, res.Failure.Err, len(res.Failure.Minimized), res.Failure.Minimized)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no ops ran")
+			}
+		})
+	}
+}

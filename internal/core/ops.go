@@ -1,0 +1,403 @@
+// Package core implements the paper's conformance-checking harnesses (§4–5):
+// property-based tests that drive random operation sequences against the
+// implementation and its reference model in lockstep, compare results after
+// every operation, check cross-system invariants, inject environmental
+// failures, generate crash states, and minimize failing sequences.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/prop"
+)
+
+// OpKind enumerates the operation alphabet for the store harness. The order
+// is deliberate: the §4.3 minimization heuristics prefer earlier variants,
+// so the alphabet is arranged "in increasing order of complexity" exactly as
+// the paper describes.
+type OpKind int
+
+const (
+	// OpGet reads a shard.
+	OpGet OpKind = iota
+	// OpPut writes a shard.
+	OpPut
+	// OpDelete removes a shard.
+	OpDelete
+	// OpList runs the control-plane listing.
+	OpList
+	// OpFlushIndex flushes the LSM memtable to a run chunk.
+	OpFlushIndex
+	// OpFlushSuperblock writes a superblock record.
+	OpFlushSuperblock
+	// OpSchedStep issues one IO scheduler round without syncing.
+	OpSchedStep
+	// OpSchedSync flushes the disk write cache.
+	OpSchedSync
+	// OpPump drives the scheduler to quiescence.
+	OpPump
+	// OpCompactIndex merges the LSM runs.
+	OpCompactIndex
+	// OpReclaim garbage-collects one extent.
+	OpReclaim
+	// OpDrainCache empties the buffer cache (reaches miss paths, §8.3).
+	OpDrainCache
+	// OpRemoveDisk takes the disk out of service (control plane).
+	OpRemoveDisk
+	// OpReturnDisk brings the disk back into service.
+	OpReturnDisk
+	// OpFailDiskOnce injects a transient IO failure on one extent (§4.4).
+	OpFailDiskOnce
+	// OpCleanReboot performs a clean shutdown + recovery (forward progress).
+	OpCleanReboot
+	// OpDirtyReboot crashes and recovers (§5 persistence check).
+	OpDirtyReboot
+
+	numOpKinds
+)
+
+var opNames = map[OpKind]string{
+	OpGet:             "Get",
+	OpPut:             "Put",
+	OpDelete:          "Delete",
+	OpList:            "List",
+	OpFlushIndex:      "FlushIndex",
+	OpFlushSuperblock: "FlushSuperblock",
+	OpSchedStep:       "SchedStep",
+	OpSchedSync:       "SchedSync",
+	OpPump:            "Pump",
+	OpCompactIndex:    "CompactIndex",
+	OpReclaim:         "Reclaim",
+	OpDrainCache:      "DrainCache",
+	OpRemoveDisk:      "RemoveDisk",
+	OpReturnDisk:      "ReturnDisk",
+	OpFailDiskOnce:    "FailDiskOnce",
+	OpCleanReboot:     "CleanReboot",
+	OpDirtyReboot:     "DirtyReboot",
+}
+
+func (k OpKind) String() string {
+	if n, ok := opNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// RebootFlags selects which components a DirtyReboot flushes before the
+// crash — the paper's RebootType parameter (§5).
+type RebootFlags uint8
+
+const (
+	// RebootFlushIndex flushes the LSM memtable before crashing.
+	RebootFlushIndex RebootFlags = 1 << iota
+	// RebootFlushSuperblock writes a superblock record before crashing.
+	RebootFlushSuperblock
+	// RebootSchedStep issues one scheduler round (data reaches the disk
+	// cache, where the crash can tear it page by page).
+	RebootSchedStep
+	// RebootSchedSync flushes the disk cache before crashing.
+	RebootSchedSync
+)
+
+func (f RebootFlags) String() string {
+	if f == 0 {
+		return "None"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	if f&RebootFlushIndex != 0 {
+		add("Index")
+	}
+	if f&RebootFlushSuperblock != 0 {
+		add("Superblock")
+	}
+	if f&RebootSchedStep != 0 {
+		add("Step")
+	}
+	if f&RebootSchedSync != 0 {
+		add("Sync")
+	}
+	return s
+}
+
+// Op is one operation in a generated sequence. Every random choice the
+// operation needs at execution time is captured in the Op itself (Tag seeds
+// the store's internal RNG, CrashSeed drives the crash tearing), so replay
+// and minimization are fully deterministic (§4.3).
+type Op struct {
+	Kind      OpKind
+	Key       string
+	Value     []byte
+	Extent    int
+	Flags     RebootFlags
+	Tag       int64
+	CrashSeed int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpPut:
+		return fmt.Sprintf("Put(%q, %dB)", o.Key, len(o.Value))
+	case OpGet, OpDelete:
+		return fmt.Sprintf("%s(%q)", o.Kind, o.Key)
+	case OpReclaim, OpFailDiskOnce:
+		return fmt.Sprintf("%s(extent %d)", o.Kind, o.Extent)
+	case OpDirtyReboot:
+		return fmt.Sprintf("DirtyReboot(%s)", o.Flags)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Bias tunes argument selection (§4.2). All biases are probabilistic.
+type Bias struct {
+	// KeyReuse is the probability that Get/Delete pick a previously Put key
+	// rather than a fresh random one (the successful-Get bias).
+	KeyReuse float64
+	// PageSizeValues is the probability that a Put value is sized so the
+	// chunk frame lands within a couple of bytes of a page boundary — the
+	// corner case §4.2 calls out as a frequent source of bugs.
+	PageSizeValues float64
+	// ConstantValueBytes is the probability a value is a repeated single
+	// byte (compressible patterns interact with framing and stale data).
+	ConstantValueBytes float64
+	// ZeroValues is the probability a value is all zero bytes — together
+	// with UUIDZeroBias this makes stale-byte collisions (§5, bug #10)
+	// reachable.
+	ZeroValues float64
+	// UUIDZeroBias is forwarded to the chunk store's UUID generator.
+	UUIDZeroBias float64
+}
+
+// DefaultBias is the tuned default the experiments use.
+func DefaultBias() Bias {
+	return Bias{KeyReuse: 0.8, PageSizeValues: 0.4, ConstantValueBytes: 0.5}
+}
+
+// NoBias disables all argument biasing (the §4.2 ablation baseline).
+func NoBias() Bias { return Bias{} }
+
+// opWeights returns the generation weights for each op kind under the given
+// harness configuration.
+func opWeights(cfg Config) map[OpKind]int {
+	w := map[OpKind]int{
+		OpGet:             20,
+		OpPut:             25,
+		OpDelete:          8,
+		OpFlushIndex:      8,
+		OpFlushSuperblock: 6,
+		OpSchedStep:       8,
+		OpSchedSync:       5,
+		OpPump:            5,
+		OpCompactIndex:    4,
+		OpReclaim:         8,
+		OpDrainCache:      3,
+	}
+	if cfg.EnableControlPlane {
+		w[OpList] = 4
+		w[OpRemoveDisk] = 2
+		w[OpReturnDisk] = 3
+	}
+	if cfg.EnableFailures {
+		w[OpFailDiskOnce] = 4
+	}
+	if cfg.EnableReboots {
+		w[OpCleanReboot] = 3
+	}
+	if cfg.EnableCrashes {
+		w[OpDirtyReboot] = 5
+	}
+	return w
+}
+
+// genState carries generation-time knowledge used for biasing.
+type genState struct {
+	keys []string // keys Put so far in this sequence
+}
+
+// GenerateSeq produces one random operation sequence.
+func GenerateSeq(r *rand.Rand, cfg Config) []Op {
+	n := cfg.OpsPerCase
+	if n <= 0 {
+		n = 40
+	}
+	weights := opWeights(cfg)
+	var kinds []OpKind
+	var ws []int
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if w := weights[k]; w > 0 {
+			kinds = append(kinds, k)
+			ws = append(ws, w)
+		}
+	}
+	total := 0
+	for _, w := range ws {
+		total += w
+	}
+	st := &genState{}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		pick := r.Intn(total)
+		var kind OpKind
+		for j, w := range ws {
+			if pick < w {
+				kind = kinds[j]
+				break
+			}
+			pick -= w
+		}
+		ops = append(ops, genOp(r, cfg, st, kind))
+	}
+	return ops
+}
+
+func genOp(r *rand.Rand, cfg Config, st *genState, kind OpKind) Op {
+	op := Op{Kind: kind, Tag: r.Int63(), CrashSeed: r.Int63()}
+	switch kind {
+	case OpGet, OpDelete:
+		op.Key = genKey(r, cfg.Bias, st, false)
+	case OpPut:
+		op.Key = genKey(r, cfg.Bias, st, true)
+		op.Value = genValue(r, cfg, op.Key)
+		st.keys = append(st.keys, op.Key)
+	case OpReclaim, OpFailDiskOnce:
+		// Bias toward low-numbered extents: allocation hands them out first,
+		// so faults and reclamations land where data actually lives (tuned
+		// from coverage feedback — unbiased extents left the injected-fault
+		// probe dark; §4.2's "tune argument selection to remedy").
+		n := maxInt(cfg.StoreConfig.Disk.ExtentCount, 1)
+		if r.Float64() < 0.7 {
+			op.Extent = r.Intn(minInt(8, n))
+		} else {
+			op.Extent = r.Intn(n)
+		}
+	case OpDirtyReboot:
+		op.Flags = RebootFlags(r.Intn(16))
+	}
+	return op
+}
+
+// genKey picks a shard key: biased toward reuse so Gets hit, fresh keys
+// otherwise. The key space is deliberately small ("k00".."k15") so random
+// collisions stay plausible even unbiased.
+func genKey(r *rand.Rand, b Bias, st *genState, forPut bool) string {
+	if !forPut && len(st.keys) > 0 && r.Float64() < b.KeyReuse {
+		return st.keys[r.Intn(len(st.keys))]
+	}
+	return fmt.Sprintf("k%02d", r.Intn(16))
+}
+
+// genValue picks a value, biased toward sizes that put the chunk frame near
+// a page boundary (§4.2's page-size corner case).
+func genValue(r *rand.Rand, cfg Config, key string) []byte {
+	ps := cfg.StoreConfig.Disk.PageSize
+	if ps == 0 {
+		ps = 128
+	}
+	var n int
+	if r.Float64() < cfg.Bias.PageSizeValues {
+		// Size the payload so the frame length is within [-2,+2] of a page
+		// multiple.
+		overhead := chunk.FrameLen(len(key), 0)
+		pages := 1 + r.Intn(3)
+		target := pages*ps - overhead + (r.Intn(5) - 2)
+		if target < 0 {
+			target = 0
+		}
+		n = target
+	} else {
+		n = r.Intn(2*ps + 1)
+	}
+	if cfg.Bias.ZeroValues > 0 && r.Float64() < cfg.Bias.ZeroValues {
+		return make([]byte, n)
+	}
+	if r.Float64() < cfg.Bias.ConstantValueBytes {
+		b := byte(r.Intn(256))
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = b
+		}
+		return out
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+// ShrinkOp yields simpler variants of an op for minimization (§4.3): shrink
+// values toward zero length, prefer earlier op kinds for maintenance ops,
+// reduce reboot flags.
+func ShrinkOp(op Op) []Op {
+	var out []Op
+	if len(op.Value) > 0 {
+		half := op.Value[:len(op.Value)/2]
+		v1 := op
+		v1.Value = append([]byte(nil), half...)
+		out = append(out, v1)
+		v2 := op
+		v2.Value = []byte{}
+		out = append(out, v2)
+	}
+	if op.Flags != 0 {
+		v := op
+		v.Flags = 0
+		out = append(out, v)
+	}
+	if op.Extent > 0 {
+		v := op
+		v.Extent = op.Extent / 2
+		out = append(out, v)
+	}
+	// Prefer earlier (simpler) variants: try turning maintenance ops into
+	// no-op-ish Gets.
+	if op.Kind > OpGet && op.Kind != OpPut && op.Kind != OpDirtyReboot && op.Kind != OpCleanReboot {
+		v := op
+		v.Kind = OpGet
+		v.Key = "k00"
+		out = append(out, v)
+	}
+	return out
+}
+
+// SeqStats summarizes a sequence for the minimization experiment (§4.3's
+// "61 operations, including 9 crashes and 14 writes totalling 226 KiB").
+type SeqStats struct {
+	Ops          int
+	Crashes      int
+	Writes       int
+	BytesWritten int
+}
+
+// StatsOf computes SeqStats for a sequence.
+func StatsOf(seq []Op) SeqStats {
+	var s SeqStats
+	s.Ops = len(seq)
+	for _, op := range seq {
+		switch op.Kind {
+		case OpPut:
+			s.Writes++
+			s.BytesWritten += len(op.Value)
+		case OpDirtyReboot:
+			s.Crashes++
+		}
+	}
+	return s
+}
+
+var _ = prop.CaseSeed // prop is used by the harness files in this package
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"shardstore/internal/chunk"
+)
+
+func TestGenerateSeqRespectsConfig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := Config{OpsPerCase: 50, Bias: DefaultBias()}.withDefaults()
+	seq := GenerateSeq(r, cfg)
+	if len(seq) != 50 {
+		t.Fatalf("length %d", len(seq))
+	}
+	for _, op := range seq {
+		switch op.Kind {
+		case OpDirtyReboot, OpCleanReboot, OpFailDiskOnce, OpRemoveDisk, OpReturnDisk, OpList:
+			t.Fatalf("disabled op %v generated", op.Kind)
+		}
+	}
+}
+
+func TestGenerateSeqEnablesOptionalOps(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cfg := Config{
+		OpsPerCase: 3000, Bias: DefaultBias(),
+		EnableCrashes: true, EnableReboots: true, EnableFailures: true, EnableControlPlane: true,
+	}.withDefaults()
+	seq := GenerateSeq(r, cfg)
+	seen := map[OpKind]bool{}
+	for _, op := range seq {
+		seen[op.Kind] = true
+	}
+	for _, want := range []OpKind{OpDirtyReboot, OpCleanReboot, OpFailDiskOnce, OpList, OpRemoveDisk, OpGet, OpPut, OpReclaim} {
+		if !seen[want] {
+			t.Fatalf("op %v never generated in 3000 ops", want)
+		}
+	}
+}
+
+func TestKeyReuseBiasIncreasesHits(t *testing.T) {
+	count := func(bias Bias) int {
+		r := rand.New(rand.NewSource(3))
+		cfg := Config{OpsPerCase: 2000, Bias: bias}.withDefaults()
+		seq := GenerateSeq(r, cfg)
+		put := map[string]bool{}
+		hits := 0
+		for _, op := range seq {
+			switch op.Kind {
+			case OpPut:
+				put[op.Key] = true
+			case OpGet:
+				if put[op.Key] {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	biased := count(Bias{KeyReuse: 0.9})
+	unbiased := count(Bias{})
+	if biased <= unbiased {
+		t.Fatalf("key-reuse bias ineffective: biased=%d unbiased=%d", biased, unbiased)
+	}
+}
+
+func TestPageSizeBiasAlignsFrames(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cfg := Config{OpsPerCase: 3000, Bias: Bias{PageSizeValues: 1.0}}.withDefaults()
+	ps := cfg.StoreConfig.Disk.PageSize
+	seq := GenerateSeq(r, cfg)
+	near := 0
+	puts := 0
+	for _, op := range seq {
+		if op.Kind != OpPut {
+			continue
+		}
+		puts++
+		flen := chunk.FrameLen(len(op.Key), len(op.Value))
+		rem := flen % ps
+		if rem <= 2 || rem >= ps-2 {
+			near++
+		}
+	}
+	if puts == 0 || float64(near)/float64(puts) < 0.8 {
+		t.Fatalf("page-size bias ineffective: %d/%d near-boundary", near, puts)
+	}
+}
+
+func TestOpsCarryDeterministicTags(t *testing.T) {
+	gen := func() []Op {
+		r := rand.New(rand.NewSource(5))
+		return GenerateSeq(r, Config{OpsPerCase: 20, Bias: DefaultBias()}.withDefaults())
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i].Tag != b[i].Tag || a[i].CrashSeed != b[i].CrashSeed {
+			t.Fatal("op tags nondeterministic for fixed seed")
+		}
+	}
+}
+
+func TestShrinkOpProducesSimplerVariants(t *testing.T) {
+	op := Op{Kind: OpPut, Key: "k01", Value: make([]byte, 100)}
+	variants := ShrinkOp(op)
+	if len(variants) == 0 {
+		t.Fatal("no shrink candidates for a put")
+	}
+	for _, v := range variants {
+		if len(v.Value) >= 100 && v.Kind == OpPut {
+			t.Fatalf("candidate not simpler: %v", v)
+		}
+	}
+	reboot := Op{Kind: OpDirtyReboot, Flags: RebootFlushIndex | RebootSchedStep}
+	found := false
+	for _, v := range ShrinkOp(reboot) {
+		if v.Kind == OpDirtyReboot && v.Flags == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reboot flags not shrunk toward None")
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	seq := []Op{
+		{Kind: OpPut, Value: make([]byte, 10)},
+		{Kind: OpPut, Value: make([]byte, 5)},
+		{Kind: OpDirtyReboot},
+		{Kind: OpGet},
+	}
+	s := StatsOf(seq)
+	if s.Ops != 4 || s.Writes != 2 || s.Crashes != 1 || s.BytesWritten != 15 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestRebootFlagsString(t *testing.T) {
+	if RebootFlags(0).String() != "None" {
+		t.Fatal("zero flags")
+	}
+	s := (RebootFlushIndex | RebootSchedSync).String()
+	if s != "Index+Sync" {
+		t.Fatalf("flags string: %q", s)
+	}
+}
+
+func TestOpStringForms(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPut, Key: "k", Value: []byte{1}},
+		{Kind: OpGet, Key: "k"},
+		{Kind: OpReclaim, Extent: 3},
+		{Kind: OpDirtyReboot, Flags: RebootSchedStep},
+		{Kind: OpPump},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Fatalf("empty string for %v", op.Kind)
+		}
+	}
+}
+
+func TestCheckerForClasses(t *testing.T) {
+	if CheckerFor(1) != CheckerPBT {
+		t.Fatal("bug1 checker")
+	}
+	if CheckerFor(5) != CheckerPBTFault {
+		t.Fatal("bug5 checker")
+	}
+	if CheckerFor(8) != CheckerPBTCrash {
+		t.Fatal("bug8 checker")
+	}
+	if CheckerFor(14) != CheckerModelCheck {
+		t.Fatal("bug14 checker")
+	}
+}

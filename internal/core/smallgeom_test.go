@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"shardstore/internal/disk"
+	"shardstore/internal/faults"
+	"shardstore/internal/store"
+)
+
+// Small-geometry clean baseline: same config as the bug6/bug10 hunts but with
+// every fault disabled. Must be clean or those detections are meaningless.
+func TestSmallGeometryBaseline(t *testing.T) {
+	cfg := Config{
+		Seed: 1234, Cases: 4000, OpsPerCase: 60,
+		Bias:          Bias{KeyReuse: 0.8, PageSizeValues: 0.6, ConstantValueBytes: 0.5, ZeroValues: 0.5, UUIDZeroBias: 0.6},
+		EnableCrashes: true, EnableReboots: true,
+		StoreConfig: store.Config{
+			Disk: disk.Config{PageSize: 128, PagesPerExtent: 8, ExtentCount: 8},
+			Bugs: faults.NewSet(),
+		},
+		Minimize: true,
+	}
+	res := Run(cfg)
+	if res.Failure != nil {
+		t.Fatalf("case %d: %v\nminimized(%d): %v", res.Failure.Case, res.Failure.MinimizedErr, len(res.Failure.Minimized), res.Failure.Minimized)
+	}
+	t.Logf("%d cases, %d ops, %d crashes clean", res.Cases, res.Ops, res.Crashes)
+}

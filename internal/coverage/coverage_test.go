@@ -1,0 +1,91 @@
+package coverage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHitAndCount(t *testing.T) {
+	r := NewRegistry()
+	r.Hit("a")
+	r.Hit("a")
+	r.Hit("b")
+	if r.Count("a") != 2 || r.Count("b") != 1 || r.Count("c") != 0 {
+		t.Fatalf("counts: a=%d b=%d c=%d", r.Count("a"), r.Count("b"), r.Count("c"))
+	}
+	if !r.Covered("a") || r.Covered("c") {
+		t.Fatal("covered wrong")
+	}
+}
+
+func TestNilRegistryDiscards(t *testing.T) {
+	var r *Registry
+	r.Hit("x") // must not panic
+	if r.Count("x") != 0 || r.Covered("x") {
+		t.Fatal("nil registry recorded")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil snapshot")
+	}
+	r.Reset()
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Registry
+	r.Hit("x")
+	if r.Count("x") != 1 {
+		t.Fatal("zero value broken")
+	}
+}
+
+func TestMissing(t *testing.T) {
+	r := NewRegistry()
+	r.Hit("reached")
+	missing := r.Missing([]string{"reached", "blind-spot-2", "blind-spot-1"})
+	if len(missing) != 2 || missing[0] != "blind-spot-1" {
+		t.Fatalf("missing: %v", missing)
+	}
+}
+
+func TestResetAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Hit("x")
+	snap := r.Snapshot()
+	r.Reset()
+	if snap["x"] != 1 {
+		t.Fatal("snapshot should be a copy")
+	}
+	if r.Count("x") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestReportFiltersByPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Hit("cache.hit")
+	r.Hit("cache.miss")
+	r.Hit("disk.crash")
+	rep := r.Report("cache.")
+	if !strings.Contains(rep, "cache.hit") || strings.Contains(rep, "disk.crash") {
+		t.Fatalf("report: %q", rep)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Hit("contended")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count("contended") != 8000 {
+		t.Fatalf("lost hits: %d", r.Count("contended"))
+	}
+}

@@ -1,0 +1,752 @@
+// Package dep implements ShardStore's soft-updates crash consistency
+// machinery (§2.2 of the paper): run-time dependency graphs that declare
+// valid write orderings, and the IO scheduler that enforces them.
+//
+// Every write to disk is enqueued as a writeback with a set of input
+// dependencies. The contract (quoting the paper's append API) is that "the
+// append will not be issued to disk until the input dependency has been
+// persisted". The scheduler issues writebacks in dependency order, coalesces
+// physically adjacent writes into single IOs, and tracks durability so that
+// clients can poll Dependency.IsPersistent — the primitive on which the
+// crash-consistency properties of §5 (persistence, forward progress) are
+// specified and checked.
+package dep
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"shardstore/internal/coverage"
+	"shardstore/internal/disk"
+	"shardstore/internal/vsync"
+)
+
+// ErrUnboundFuture is returned by Pump when progress is blocked on a future
+// dependency that was never bound (typically a staged-but-unflushed
+// superblock record).
+var ErrUnboundFuture = errors.New("dep: writeback waits on an unbound future dependency")
+
+type wbState int
+
+const (
+	statePending    wbState = iota // enqueued, not yet written to the disk cache
+	stateIssued                    // written to the disk's volatile cache
+	stateDurable                   // synced; survives any crash
+	stateSuperseded                // cancelled by an extent reset; persistence delegates to the superseding dependency
+)
+
+// writeback is one pending disk write.
+type writeback struct {
+	id    uint64
+	label string
+	ext   disk.ExtentID
+	off   int
+	data  []byte
+	waits []*Dependency
+	state wbState
+	// supersededBy carries the persistence obligation of a cancelled
+	// writeback: an extent reset evacuates (or legitimately supersedes) the
+	// data, so the writeback's dependency is satisfied exactly when the
+	// reset — which waits on the evacuations and reference updates — is
+	// durable.
+	supersededBy *Dependency
+}
+
+// Dependency is a node in the crash-consistency dependency graph. A
+// Dependency is persistent once every writeback it transitively covers is
+// durable on disk. Dependencies are created by Scheduler.Write, combined with
+// And, and polled with IsPersistent (§2.2).
+//
+// Dependency values remain valid after a crash: they keep reporting the
+// persistence status they had when the crash occurred, which is exactly what
+// the §5 persistence check needs.
+type Dependency struct {
+	s *Scheduler // nil for the static resolved dependency
+
+	wbs     []*writeback
+	parents []*Dependency
+
+	// future dependencies are placeholders handed out before the write they
+	// cover exists (e.g. a batched superblock record). Bind attaches the
+	// real dependency.
+	future bool
+	bound  *Dependency
+
+	persistMemo bool
+}
+
+// Resolved returns a dependency that is always persistent — the root of
+// every dependency chain.
+func Resolved() *Dependency { return resolvedDep }
+
+var resolvedDep = &Dependency{persistMemo: true}
+
+// And combines d with others: the result is persistent only when d and all
+// others are persistent. Combining dependencies from different schedulers is
+// a programming error and panics.
+func (d *Dependency) And(others ...*Dependency) *Dependency {
+	parents := make([]*Dependency, 0, 1+len(others))
+	s := d.s
+	if d != resolvedDep {
+		parents = append(parents, d)
+	}
+	for _, o := range others {
+		if o == nil || o == resolvedDep {
+			continue
+		}
+		if s == nil {
+			s = o.s
+		} else if o.s != nil && o.s != s {
+			panic("dep: combining dependencies from different schedulers")
+		}
+		parents = append(parents, o)
+	}
+	if len(parents) == 0 {
+		return resolvedDep
+	}
+	if len(parents) == 1 {
+		return parents[0]
+	}
+	return &Dependency{s: s, parents: parents}
+}
+
+// All combines any number of dependencies; nil entries are ignored.
+func All(deps ...*Dependency) *Dependency {
+	out := Resolved()
+	for _, d := range deps {
+		if d != nil {
+			out = out.And(d)
+		}
+	}
+	return out
+}
+
+// IsPersistent reports whether every write covered by d is durable on disk.
+// The result is monotonic: once true it stays true, even across a crash.
+func (d *Dependency) IsPersistent() bool {
+	if d == nil {
+		return true
+	}
+	if d.persistMemo {
+		return true
+	}
+	if d.s == nil {
+		// Unbound future with no scheduler yet, or resolved.
+		if d.future && d.bound == nil {
+			return false
+		}
+	}
+	s := d.scheduler()
+	if s == nil {
+		return d.computePersistent()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return d.computePersistent()
+}
+
+func (d *Dependency) scheduler() *Scheduler {
+	if d.s != nil {
+		return d.s
+	}
+	if d.bound != nil {
+		return d.bound.scheduler()
+	}
+	return nil
+}
+
+// computePersistent assumes the scheduler lock is held (or no scheduler).
+func (d *Dependency) computePersistent() bool {
+	if d.persistMemo {
+		return true
+	}
+	if d.future {
+		if d.bound == nil || !d.bound.computePersistent() {
+			return false
+		}
+		d.persistMemo = true
+		return true
+	}
+	for _, wb := range d.wbs {
+		switch wb.state {
+		case stateDurable:
+		case stateSuperseded:
+			if wb.supersededBy == nil || !wb.supersededBy.computePersistent() {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	for _, p := range d.parents {
+		if !p.computePersistent() {
+			return false
+		}
+	}
+	d.persistMemo = true
+	return true
+}
+
+// readyLocked reports whether every input dependency is persistent, i.e. the
+// writeback may be issued. Caller holds the scheduler lock.
+func (wb *writeback) readyLocked() (ready bool, unboundFuture bool) {
+	for _, w := range wb.waits {
+		if w.future && w.bound == nil && !w.persistMemo {
+			return false, true
+		}
+		if !w.computePersistent() {
+			return false, false
+		}
+	}
+	return true, false
+}
+
+// WriteInfo describes one writeback covered by a dependency, for graph
+// inspection (the Fig 2 experiment).
+type WriteInfo struct {
+	ID     uint64
+	Label  string
+	Extent disk.ExtentID
+	Offset int
+	Length int
+}
+
+// Edge is a dependency-graph edge: From must persist before To is issued.
+type Edge struct{ From, To uint64 }
+
+// Graph walks the dependency graph rooted at d and returns the covered
+// writebacks and ordering edges. Used to regenerate Fig 2.
+func (d *Dependency) Graph() (nodes []WriteInfo, edges []Edge) {
+	s := d.scheduler()
+	if s != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	seenDep := map[*Dependency]bool{}
+	seenWB := map[uint64]bool{}
+	var visitDep func(*Dependency)
+	var visitWB func(*writeback)
+	visitWB = func(wb *writeback) {
+		if seenWB[wb.id] {
+			return
+		}
+		seenWB[wb.id] = true
+		nodes = append(nodes, WriteInfo{ID: wb.id, Label: wb.label, Extent: wb.ext, Offset: wb.off, Length: len(wb.data)})
+		for _, w := range wb.waits {
+			before := collectWBs(w, map[*Dependency]bool{})
+			for _, b := range before {
+				edges = append(edges, Edge{From: b.id, To: wb.id})
+				visitWB(b)
+			}
+		}
+	}
+	visitDep = func(dd *Dependency) {
+		if dd == nil || seenDep[dd] {
+			return
+		}
+		seenDep[dd] = true
+		for _, wb := range dd.wbs {
+			visitWB(wb)
+		}
+		for _, p := range dd.parents {
+			visitDep(p)
+		}
+		if dd.bound != nil {
+			visitDep(dd.bound)
+		}
+	}
+	visitDep(d)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return nodes, edges
+}
+
+func collectWBs(d *Dependency, seen map[*Dependency]bool) []*writeback {
+	if d == nil || seen[d] {
+		return nil
+	}
+	seen[d] = true
+	out := append([]*writeback(nil), d.wbs...)
+	for _, p := range d.parents {
+		out = append(out, collectWBs(p, seen)...)
+	}
+	if d.bound != nil {
+		out = append(out, collectWBs(d.bound, seen)...)
+	}
+	return out
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Enqueued     uint64
+	Issued       uint64
+	IOs          uint64 // physical WriteAt calls after coalescing
+	Coalesced    uint64 // writebacks merged into a preceding IO
+	Syncs        uint64
+	WriteErrors  uint64
+	MadeDurable  uint64
+	PendingPeak  int
+	DroppedCrash uint64
+}
+
+// Scheduler owns the writeback queue for one disk and enforces dependency
+// ordering (§2.2: "ShardStore's IO scheduler ensures that writebacks respect
+// these dependencies").
+type Scheduler struct {
+	mu     vsync.Mutex
+	d      *disk.Disk
+	nextID uint64
+	queue  []*writeback
+	issued []*writeback // issued but not yet durable
+	cov    *coverage.Registry
+	stats  Stats
+}
+
+// NewScheduler creates a scheduler over d.
+func NewScheduler(d *disk.Disk, cov *coverage.Registry) *Scheduler {
+	return &Scheduler{d: d, cov: cov}
+}
+
+// Disk returns the underlying disk.
+func (s *Scheduler) Disk() *disk.Disk { return s.d }
+
+// Stats returns a snapshot of scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Write enqueues a writeback of data to (ext, off) that may only be issued
+// once every dependency in waits is persistent. It returns the dependency
+// representing this write. label names the write in dependency-graph dumps.
+func (s *Scheduler) Write(label string, ext disk.ExtentID, off int, data []byte, waits ...*Dependency) *Dependency {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	wb := &writeback{
+		id:    s.nextID,
+		label: label,
+		ext:   ext,
+		off:   off,
+		data:  append([]byte(nil), data...),
+		waits: compactDeps(waits),
+	}
+	s.queue = append(s.queue, wb)
+	s.stats.Enqueued++
+	if len(s.queue) > s.stats.PendingPeak {
+		s.stats.PendingPeak = len(s.queue)
+	}
+	d := &Dependency{s: s, wbs: []*writeback{wb}, parents: compactDeps(waits)}
+	return d
+}
+
+func compactDeps(waits []*Dependency) []*Dependency {
+	var out []*Dependency
+	for _, w := range waits {
+		if w != nil && w != resolvedDep {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ReadAt reads from the disk with the pending writeback queue overlaid, so
+// reads observe writes that have been enqueued but not yet issued (the
+// node's page-cache coherence: acknowledged writes are immediately readable
+// regardless of writeback progress).
+func (s *Scheduler) ReadAt(ext disk.ExtentID, off int, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.d.ReadAt(ext, off, buf); err != nil {
+		return err
+	}
+	end := off + len(buf)
+	for _, wb := range s.queue {
+		if wb.ext != ext {
+			continue
+		}
+		wbEnd := wb.off + len(wb.data)
+		lo, hi := wb.off, wbEnd
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo < hi {
+			copy(buf[lo-off:hi-off], wb.data[lo-wb.off:hi-wb.off])
+		}
+	}
+	return nil
+}
+
+// Future returns an unbound placeholder dependency. It reports not-persistent
+// until Bind attaches the real dependency. Futures let components hand out a
+// dependency for a write that will be batched later (the superblock record).
+func (s *Scheduler) Future() *Dependency {
+	return &Dependency{s: s, future: true}
+}
+
+// NewDetachedFuture returns an unbound future dependency not tied to any
+// scheduler. It is used by mock implementations (reference models) where
+// persistence is immediate once bound.
+func NewDetachedFuture() *Dependency { return &Dependency{future: true} }
+
+// BindDetached binds a detached future created by NewDetachedFuture.
+func BindDetached(future, real *Dependency) {
+	if !future.future {
+		panic("dep: BindDetached on non-future dependency")
+	}
+	if future.bound != nil {
+		panic("dep: future already bound")
+	}
+	future.bound = real
+}
+
+// Bind attaches the real dependency to a future created by Future.
+func (s *Scheduler) Bind(future, real *Dependency) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !future.future {
+		panic("dep: Bind on non-future dependency")
+	}
+	if future.bound != nil {
+		panic("dep: future already bound")
+	}
+	future.bound = real
+}
+
+// issuableLocked returns the queue indexes of writebacks whose dependencies
+// are persistent. Caller holds the lock.
+func (s *Scheduler) issuableLocked() (idx []int, sawUnbound bool) {
+	for i, wb := range s.queue {
+		ready, unbound := wb.readyLocked()
+		if unbound {
+			sawUnbound = true
+		}
+		if ready {
+			idx = append(idx, i)
+		}
+	}
+	return idx, sawUnbound
+}
+
+// issueLocked writes the selected queue entries to the disk cache, coalescing
+// physically adjacent writebacks into single IOs. Returns issued writebacks.
+// Caller holds the lock. Writebacks whose write fails (injected IO errors)
+// remain queued for retry.
+func (s *Scheduler) issueLocked(idx []int) []*writeback {
+	if len(idx) == 0 {
+		return nil
+	}
+	batch := make([]*writeback, 0, len(idx))
+	for _, i := range idx {
+		batch = append(batch, s.queue[i])
+	}
+	// Sort the batch by physical position so adjacent writes coalesce.
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].ext != batch[j].ext {
+			return batch[i].ext < batch[j].ext
+		}
+		return batch[i].off < batch[j].off
+	})
+
+	issuedSet := make(map[uint64]bool)
+	var issued []*writeback
+	for i := 0; i < len(batch); {
+		run := []*writeback{batch[i]}
+		j := i + 1
+		for j < len(batch) && batch[j].ext == batch[i].ext &&
+			batch[j].off == run[len(run)-1].off+len(run[len(run)-1].data) {
+			run = append(run, batch[j])
+			j++
+		}
+		var buf []byte
+		for _, wb := range run {
+			buf = append(buf, wb.data...)
+		}
+		err := s.d.WriteAt(run[0].ext, run[0].off, buf)
+		if err != nil {
+			s.stats.WriteErrors++
+			s.cov.Hit("sched.write_error")
+			// Leave the whole run queued; transient failures clear and the
+			// writebacks are retried on the next pump.
+		} else {
+			s.stats.IOs++
+			if len(run) > 1 {
+				s.stats.Coalesced += uint64(len(run) - 1)
+				s.cov.Hit("sched.coalesced")
+			}
+			for _, wb := range run {
+				wb.state = stateIssued
+				issuedSet[wb.id] = true
+				issued = append(issued, wb)
+				s.stats.Issued++
+			}
+		}
+		i = j
+	}
+	if len(issuedSet) > 0 {
+		remaining := s.queue[:0]
+		for _, wb := range s.queue {
+			if !issuedSet[wb.id] {
+				remaining = append(remaining, wb)
+			}
+		}
+		s.queue = remaining
+		s.issued = append(s.issued, issued...)
+	}
+	return issued
+}
+
+// syncLocked makes all issued writebacks durable. Caller holds the lock.
+func (s *Scheduler) syncLocked() error {
+	if err := s.d.Sync(); err != nil {
+		return err
+	}
+	s.stats.Syncs++
+	for _, wb := range s.issued {
+		wb.state = stateDurable
+		// Durable writebacks never serve reads (the overlay only scans the
+		// pending queue) and never re-issue; releasing their payloads keeps
+		// long-lived dependency graphs from retaining the whole write
+		// history.
+		wb.data = nil
+		wb.waits = nil
+		s.stats.MadeDurable++
+	}
+	s.issued = s.issued[:0]
+	return nil
+}
+
+// Step performs one scheduler round: issue every currently-issuable
+// writeback to the disk cache, without syncing. Data issued by Step can be
+// torn by a crash at page granularity — this is where the interesting
+// soft-updates crash states come from. It returns the number of writebacks
+// issued.
+func (s *Scheduler) Step() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, _ := s.issuableLocked()
+	// A writeback only becomes issuable once its inputs are *durable*, so
+	// issuing without syncing is safe: everything in the current cache batch
+	// is mutually unordered.
+	return len(s.issueLocked(idx))
+}
+
+// Sync flushes the disk write cache, making all issued writebacks durable.
+func (s *Scheduler) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+// Pump drives the scheduler to quiescence: repeatedly issue all issuable
+// writebacks and sync, until nothing is left or no progress can be made.
+// It returns ErrUnboundFuture if the only obstacle to progress is a future
+// dependency that was never bound, and nil if the queue drained.
+func (s *Scheduler) Pump() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	failedRounds := 0
+	for {
+		idx, sawUnbound := s.issuableLocked()
+		if len(idx) == 0 {
+			if len(s.issued) > 0 {
+				if err := s.syncLocked(); err != nil {
+					return err
+				}
+				continue
+			}
+			if len(s.queue) == 0 {
+				return nil
+			}
+			if sawUnbound {
+				return ErrUnboundFuture
+			}
+			// Blocked on a dependency that cannot progress (e.g. writes to a
+			// permanently failed extent). Leave the queue intact.
+			return fmt.Errorf("dep: %d writebacks blocked (IO failures?)", len(s.queue))
+		}
+		issued := s.issueLocked(idx)
+		if len(issued) == 0 {
+			// Every issuable writeback failed to write (injected faults).
+			// Transient failures clear on their first hit, so retry a few
+			// rounds before giving up (permanent failures stay blocked).
+			if len(s.issued) > 0 {
+				if err := s.syncLocked(); err != nil {
+					return err
+				}
+				continue
+			}
+			failedRounds++
+			if failedRounds > 4 {
+				return fmt.Errorf("dep: write failures blocked %d writebacks", len(s.queue))
+			}
+			continue
+		}
+		failedRounds = 0
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+}
+
+// StepRandom issues a random subset of the currently-issuable writebacks —
+// used by harnesses to explore more intermediate states than Step's
+// everything-at-once policy.
+func (s *Scheduler) StepRandom(rng *rand.Rand) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, _ := s.issuableLocked()
+	var pick []int
+	for _, i := range idx {
+		if rng.Intn(2) == 0 {
+			pick = append(pick, i)
+		}
+	}
+	if len(pick) == 0 && len(idx) > 0 {
+		pick = idx[:1]
+	}
+	return len(s.issueLocked(pick))
+}
+
+// CancelExtentPending removes every queued (not yet issued) writeback
+// targeting ext, marking each as superseded by supersede. An extent reset
+// calls this: data still buffered for a reset extent must not be written
+// into the reclaimed space later, and its durability obligation transfers
+// to the reset (which is ordered after the evacuations and the reference
+// updates that superseded the data). It returns the number of cancellations.
+func (s *Scheduler) CancelExtentPending(ext disk.ExtentID, supersede *Dependency) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.queue[:0]
+	n := 0
+	for _, wb := range s.queue {
+		if wb.ext == ext {
+			wb.state = stateSuperseded
+			wb.supersededBy = supersede
+			n++
+			continue
+		}
+		kept = append(kept, wb)
+	}
+	s.queue = kept
+	if n > 0 {
+		s.cov.Hit("sched.cancelled")
+	}
+	return n
+}
+
+// Crash discards all pending writebacks (they lived only in memory) and
+// tears the disk cache via disk.Crash. Dependencies keep their pre-crash
+// persistence status. The scheduler is unusable afterwards; recovery builds
+// a fresh one on the same disk.
+func (s *Scheduler) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
+	s.mu.Lock()
+	s.stats.DroppedCrash += uint64(len(s.queue))
+	s.queue = nil
+	s.issued = nil
+	s.mu.Unlock()
+	return s.d.Crash(rng)
+}
+
+// CrashKeep is the deterministic crash used by the exhaustive block-level
+// enumerator.
+func (s *Scheduler) CrashKeep(keep func(disk.PageAddr) bool) (kept, lost []disk.PageAddr) {
+	s.mu.Lock()
+	s.stats.DroppedCrash += uint64(len(s.queue))
+	s.queue = nil
+	s.issued = nil
+	s.mu.Unlock()
+	return s.d.CrashKeep(keep)
+}
+
+// PendingCount returns the number of enqueued-but-unissued writebacks.
+func (s *Scheduler) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// IssuedCount returns the number of issued-but-not-durable writebacks.
+func (s *Scheduler) IssuedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.issued)
+}
+
+// DumpBlocked describes the queued writebacks and why each is not issuable
+// (debugging aid).
+func (s *Scheduler) DumpBlocked() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for _, wb := range s.queue {
+		ready, unbound := wb.readyLocked()
+		fmt.Fprintf(&b, "wb#%d %q e%d+%d:%d ready=%v unboundFuture=%v\n", wb.id, wb.label, wb.ext, wb.off, len(wb.data), ready, unbound)
+		for i, w := range wb.waits {
+			fmt.Fprintf(&b, "   wait[%d] persistent=%v %s\n", i, w.computePersistent(), describeDep(w, 0))
+		}
+	}
+	return b.String()
+}
+
+func describeDep(d *Dependency, depth int) string {
+	if depth > 6 {
+		return "..."
+	}
+	if d == nil || d == resolvedDep {
+		return "resolved"
+	}
+	if d.future {
+		if d.bound == nil {
+			return "future(unbound)"
+		}
+		return "future->" + describeDep(d.bound, depth+1)
+	}
+	out := ""
+	for _, wb := range d.wbs {
+		st := map[wbState]string{statePending: "pending", stateIssued: "issued", stateDurable: "durable", stateSuperseded: "superseded"}[wb.state]
+		out += fmt.Sprintf("wb#%d(%s,%s)", wb.id, wb.label, st)
+		if wb.state == stateSuperseded {
+			out += "->" + describeDep(wb.supersededBy, depth+1)
+		}
+	}
+	for _, p := range d.parents {
+		if !p.computePersistent() {
+			out += "{" + describeDep(p, depth+1) + "}"
+		}
+	}
+	return out
+}
+
+// DumpGraph renders the dependency graph rooted at d as indented text, for
+// examples and debugging.
+func DumpGraph(d *Dependency) string {
+	nodes, edges := d.Graph()
+	var b strings.Builder
+	byID := map[uint64]WriteInfo{}
+	for _, n := range nodes {
+		byID[n.ID] = n
+	}
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "wb#%d %-28s extent %d [%d,%d)\n", n.ID, n.Label, n.Extent, n.Offset, n.Offset+n.Length)
+		for _, e := range edges {
+			if e.To == n.ID {
+				from := byID[e.From]
+				fmt.Fprintf(&b, "  after wb#%d %s\n", e.From, from.Label)
+			}
+		}
+	}
+	return b.String()
+}

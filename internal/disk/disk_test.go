@@ -1,0 +1,338 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDisk(t)
+	data := []byte("hello, disk")
+	if err := d.WriteAt(3, 17, data); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	buf := make([]byte, len(data))
+	if err := d.ReadAt(3, 17, buf); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read %q, want %q", buf, data)
+	}
+}
+
+func TestReadSeesUnsyncedWrites(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.WriteAt(0, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := d.ReadAt(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("cache not visible to reads: %v", buf)
+	}
+}
+
+func TestCrashLosesUnsyncedData(t *testing.T) {
+	d := newTestDisk(t)
+	// Deterministically lose everything by crashing many times until clean,
+	// then verify zeroes. Use CrashKeep for determinism instead.
+	if err := d.WriteAt(1, 0, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	kept, lost := d.CrashKeep(func(PageAddr) bool { return false })
+	if len(kept) != 0 || len(lost) != 1 {
+		t.Fatalf("kept=%v lost=%v", kept, lost)
+	}
+	buf := make([]byte, 2)
+	if err := d.ReadAt(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Fatalf("lost write still visible: %v", buf)
+	}
+}
+
+func TestSyncMakesDataDurable(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.WriteAt(1, 0, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashKeep(func(PageAddr) bool { return false })
+	buf := make([]byte, 1)
+	if err := d.ReadAt(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA {
+		t.Fatalf("synced data lost: %v", buf)
+	}
+}
+
+func TestCrashTearsAtPageGranularity(t *testing.T) {
+	d := newTestDisk(t)
+	ps := d.Config().PageSize
+	data := make([]byte, 3*ps)
+	for i := range data {
+		data[i] = byte(i%255 + 1)
+	}
+	if err := d.WriteAt(2, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Keep only the middle page.
+	d.CrashKeep(func(a PageAddr) bool { return a.Page == 1 })
+	buf := make([]byte, 3*ps)
+	if err := d.ReadAt(2, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("page 0 should be lost")
+	}
+	if !bytes.Equal(buf[ps:2*ps], data[ps:2*ps]) {
+		t.Fatal("page 1 should survive")
+	}
+	if buf[2*ps] != 0 {
+		t.Fatal("page 2 should be lost")
+	}
+}
+
+func TestLostPagesRevertToPreviousDurableContent(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.WriteAt(0, 0, []byte{0x11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(0, 0, []byte{0x22}); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashKeep(func(PageAddr) bool { return false })
+	buf := make([]byte, 1)
+	if err := d.ReadAt(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x11 {
+		t.Fatalf("lost page did not revert to durable content: %x", buf[0])
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	d := newTestDisk(t)
+	cfg := d.Config()
+	if err := d.WriteAt(ExtentID(cfg.ExtentCount), 0, []byte{1}); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("bad extent: %v", err)
+	}
+	if err := d.WriteAt(0, cfg.ExtentBytes()-1, []byte{1, 2}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overflow: %v", err)
+	}
+	if err := d.WriteAt(0, -1, []byte{1}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if err := d.ReadAt(0, 0, nil); !errors.Is(err, ErrShortRequest) {
+		t.Fatalf("zero read: %v", err)
+	}
+}
+
+func TestInjectFailOnce(t *testing.T) {
+	d := newTestDisk(t)
+	d.InjectFailOnce(4)
+	buf := make([]byte, 1)
+	if err := d.ReadAt(4, 0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first IO should fail: %v", err)
+	}
+	if err := d.ReadAt(4, 0, buf); err != nil {
+		t.Fatalf("second IO should succeed: %v", err)
+	}
+	// Other extents unaffected.
+	d.InjectFailOnce(5)
+	if err := d.ReadAt(6, 0, buf); err != nil {
+		t.Fatalf("unrelated extent affected: %v", err)
+	}
+}
+
+func TestInjectFailPermanent(t *testing.T) {
+	d := newTestDisk(t)
+	d.InjectFailPermanent(2)
+	buf := make([]byte, 1)
+	for i := 0; i < 3; i++ {
+		if err := d.WriteAt(2, 0, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d should fail: %v", i, err)
+		}
+	}
+	d.ClearFailures()
+	if err := d.WriteAt(2, 0, buf); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}
+
+func TestCrashClearsTransientFaultsKeepsPermanent(t *testing.T) {
+	d := newTestDisk(t)
+	d.InjectFailOnce(1)
+	d.InjectFailPermanent(2)
+	d.Crash(rand.New(rand.NewSource(1)))
+	buf := make([]byte, 1)
+	if err := d.ReadAt(1, 0, buf); err != nil {
+		t.Fatalf("transient fault survived crash: %v", err)
+	}
+	if err := d.ReadAt(2, 0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("permanent fault lost in crash: %v", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.WriteAt(0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(0, 1, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := d.WriteAt(0, 2, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashKeep(func(PageAddr) bool { return true })
+	d.Restore(snap)
+	buf := make([]byte, 3)
+	if err := d.ReadAt(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 0 {
+		t.Fatalf("restore mismatch: %v", buf)
+	}
+	if d.DirtyPageCount() != 1 {
+		t.Fatalf("dirty pages after restore: %d", d.DirtyPageCount())
+	}
+}
+
+func TestDirtyPagesOrdering(t *testing.T) {
+	d := newTestDisk(t)
+	ps := d.Config().PageSize
+	_ = d.WriteAt(5, 2*ps, []byte{1})
+	_ = d.WriteAt(4, 0, []byte{1})
+	_ = d.WriteAt(5, 0, []byte{1})
+	dirty := d.DirtyPages()
+	want := []PageAddr{{5, 2}, {4, 0}, {5, 0}}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty=%v", dirty)
+	}
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("dirty order %v, want %v", dirty, want)
+		}
+	}
+}
+
+func TestCrashIsDeterministicForSeed(t *testing.T) {
+	run := func() ([]PageAddr, []PageAddr) {
+		d := newTestDisk(t)
+		for i := 0; i < 8; i++ {
+			_ = d.WriteAt(ExtentID(i%4), (i/4)*d.Config().PageSize, []byte{byte(i)})
+		}
+		return d.Crash(rand.New(rand.NewSource(42)))
+	}
+	k1, l1 := run()
+	k2, l2 := run()
+	if len(k1) != len(k2) || len(l1) != len(l2) {
+		t.Fatalf("crash nondeterministic: %v/%v vs %v/%v", k1, l1, k2, l2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("kept mismatch at %d", i)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := newTestDisk(t)
+	_ = d.WriteAt(0, 0, make([]byte, 100))
+	_ = d.ReadAt(0, 0, make([]byte, 50))
+	_ = d.Sync()
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 1 || s.Syncs != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.BytesWritten != 100 || s.BytesRead != 50 {
+		t.Fatalf("byte counters: %+v", s)
+	}
+}
+
+func TestClosedDiskRejectsIO(t *testing.T) {
+	d := newTestDisk(t)
+	d.Close()
+	if err := d.WriteAt(0, 0, []byte{1}); !errors.Is(err, ErrClosedDisk) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosedDisk) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	if _, err := New(Config{PageSize: 0, PagesPerExtent: 1, ExtentCount: 1}); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+	if _, err := New(Config{PageSize: 8, PagesPerExtent: -1, ExtentCount: 1}); err == nil {
+		t.Fatal("negative extent length accepted")
+	}
+}
+
+// TestCrashSubsetProperty: property-based check that any crash keeps a disk
+// state where every page is either the pre-crash durable content or the
+// written content — never a mix within one page.
+func TestCrashSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		d := newTestDisk(t)
+		ps := d.Config().PageSize
+		// Durable base: page of 0x0F.
+		base := bytes.Repeat([]byte{0x0F}, ps)
+		_ = d.WriteAt(0, 0, base)
+		_ = d.Sync()
+		// Unsynced overwrite: page of 0xF0.
+		over := bytes.Repeat([]byte{0xF0}, ps)
+		_ = d.WriteAt(0, 0, over)
+		d.Crash(rng)
+		buf := make([]byte, ps)
+		if err := d.ReadAt(0, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, base) && !bytes.Equal(buf, over) {
+			t.Fatalf("trial %d: torn page within page boundary: %x", trial, buf[:8])
+		}
+	}
+}
+
+func TestDurableEqual(t *testing.T) {
+	a := newTestDisk(t)
+	b := newTestDisk(t)
+	if !DurableEqual(a, b) {
+		t.Fatal("fresh disks should be equal")
+	}
+	_ = a.WriteAt(0, 0, []byte{9})
+	if !DurableEqual(a, b) {
+		t.Fatal("unsynced write should not affect durable equality")
+	}
+	_ = a.Sync()
+	if DurableEqual(a, b) {
+		t.Fatal("synced write should differ")
+	}
+}

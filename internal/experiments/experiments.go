@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index): the Fig 2 dependency
+// graph, the Fig 3 index conformance harness, the Fig 4 model-checking
+// harness, the Fig 5 catalog of 16 prevented issues, the Fig 6
+// lines-of-code table, and the quantitative claims of §4–§6 (minimization,
+// pay-as-you-go scaling, argument-bias ablation, block-level vs coarse crash
+// states, and the Loom-vs-Shuttle soundness/scalability trade-off).
+//
+// Each experiment is a function from a configuration to a rendered table,
+// runnable via cmd/experiments and exercised by the repo's benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Experiment is one runnable table/figure generator.
+type Experiment struct {
+	// Name is the cmd/experiments -run selector (e.g. "fig5").
+	Name string
+	// Paper identifies the table/figure reproduced.
+	Paper string
+	// Quick runs a reduced budget suitable for CI; Run uses the full one.
+	Run func(w io.Writer, quick bool) error
+}
+
+// All returns the experiments in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{Name: "fig2", Paper: "Fig 2: dependency graph for three puts", Run: Fig2},
+		{Name: "fig3", Paper: "Fig 3: index conformance harness", Run: Fig3},
+		{Name: "fig4", Paper: "Fig 4: stateless model checking harness", Run: Fig4},
+		{Name: "fig5", Paper: "Fig 5: issues prevented from reaching production", Run: Fig5},
+		{Name: "fig6", Paper: "Fig 6: lines of code", Run: Fig6},
+		{Name: "minimize", Paper: "§4.3: automatic test-case minimization", Run: Minimization},
+		{Name: "bias", Paper: "§4.2: argument bias ablation / pay-as-you-go", Run: BiasAblation},
+		{Name: "crashgrid", Paper: "§5: coarse vs block-level crash states", Run: CrashGrid},
+		{Name: "mctradeoff", Paper: "§6: sound (DFS) vs randomized model checking", Run: MCTradeoff},
+		{Name: "serialization", Paper: "§7: deserializer robustness", Run: Serialization},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a tiny text-table renderer.
+type table struct {
+	headers []string
+	rows    [][]string
+}
+
+func newTable(headers ...string) *table { return &table{headers: headers} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.rows = append(t.rows, strings.Split(fmt.Sprintf(format, args...), "|"))
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,210 @@
+// Package faults is a registry of seedable defects and environmental fault
+// switches used by the validation experiments.
+//
+// The paper's headline result (Fig 5) is a catalog of 16 issues that the
+// lightweight formal methods stack prevented from reaching production. To
+// reproduce that result without access to the original buggy revisions, each
+// issue is re-seeded here as a named fault. Implementation code consults
+// Enabled at the exact site where the production bug lived; with the fault
+// disabled the code takes the fixed path, with it enabled the original defect
+// is reintroduced. Experiments then demonstrate that the designated checker
+// class detects each fault.
+//
+// The registry is also used for environmental failure injection (transient
+// and permanent disk IO errors, §4.4), which is orthogonal to the seeded
+// bugs: failure injection exercises the *fixed* code under a hostile
+// environment, while seeded bugs break the code under a clean environment.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Bug identifies one of the seeded defects from Fig 5 of the paper, plus a
+// small number of auxiliary faults used by individual tests.
+type Bug int
+
+// The 16 issues of Fig 5, in paper order. The comment after each constant is
+// the paper's one-line description.
+const (
+	bugInvalid Bug = iota
+
+	// Functional correctness (found by property-based testing, §4).
+
+	Bug1ReclaimOffByOne      // chunk store: off-by-one in reclamation for chunks of size close to PageSize
+	Bug2CacheNotDrained      // buffer cache: cache not drained after resetting an extent
+	Bug3ShutdownMetadataSkip // index: metadata not flushed during shutdown if an extent was reset
+	Bug4DiskReturnLosesShard // API: shards lost if a disk was removed from service and later returned
+	Bug5ReclaimIOErrorDrop   // chunk store: reclamation forgets chunks after a transient read IO error
+
+	// Crash consistency (found by PBT over crash states, §5).
+
+	Bug6SuperblockOwnershipDep // superblock: Dependency for extent ownership incorrect after a reboot
+	Bug7SoftHardPointerSkew    // superblock: mismatch between soft and hard write pointers after crash following extent reset
+	Bug8CacheWriteMissingDep   // buffer cache: writes missing a dependency on the soft write pointer update
+	Bug9RefModelCrashReclaim   // harness: reference model not updated correctly after a crash during reclamation
+	Bug10UUIDCollision         // chunk store: reclamation forgets chunks after a crash and UUID collision
+
+	// Concurrency (found by stateless model checking, §6).
+
+	Bug11WriteFlushRace        // chunk store: chunk locators invalid after a race between write and flush
+	Bug12BufferPoolDeadlock    // superblock: buffer pool exhaustion deadlocks threads waiting for a superblock update
+	Bug13ListRemoveRace        // API: race between control plane listing and removal of shards
+	Bug14CompactionReclaimRace // index: race between reclamation and LSM compaction loses recent index entries
+	Bug15RefModelLocatorReuse  // harness: reference model reused chunk locators other code assumed unique
+	Bug16BulkCreateRemoveRace  // API: race between control plane bulk create and remove of shards
+
+	numBugs
+)
+
+// Class is the top-level correctness property a bug violates (the section
+// grouping of Fig 5).
+type Class int
+
+const (
+	FunctionalCorrectness Class = iota
+	CrashConsistency
+	Concurrency
+)
+
+func (c Class) String() string {
+	switch c {
+	case FunctionalCorrectness:
+		return "functional correctness"
+	case CrashConsistency:
+		return "crash consistency"
+	case Concurrency:
+		return "concurrency"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Info describes one catalog entry.
+type Info struct {
+	Bug         Bug
+	Class       Class
+	Component   string
+	Description string
+}
+
+var catalog = map[Bug]Info{
+	Bug1ReclaimOffByOne:        {Bug1ReclaimOffByOne, FunctionalCorrectness, "chunk store", "off-by-one error in reclamation for chunks of size close to PageSize"},
+	Bug2CacheNotDrained:        {Bug2CacheNotDrained, FunctionalCorrectness, "buffer cache", "cache was not correctly drained after resetting an extent"},
+	Bug3ShutdownMetadataSkip:   {Bug3ShutdownMetadataSkip, FunctionalCorrectness, "index", "metadata was not flushed correctly during shutdown if an extent was reset"},
+	Bug4DiskReturnLosesShard:   {Bug4DiskReturnLosesShard, FunctionalCorrectness, "api", "shards could be lost if a disk was removed from service and then later returned"},
+	Bug5ReclaimIOErrorDrop:     {Bug5ReclaimIOErrorDrop, FunctionalCorrectness, "chunk store", "reclamation could forget chunks after a transient read IO error"},
+	Bug6SuperblockOwnershipDep: {Bug6SuperblockOwnershipDep, CrashConsistency, "superblock", "superblock dependency for extent ownership was incorrect after a reboot"},
+	Bug7SoftHardPointerSkew:    {Bug7SoftHardPointerSkew, CrashConsistency, "superblock", "mismatch between soft and hard write pointers in a crash after an extent reset"},
+	Bug8CacheWriteMissingDep:   {Bug8CacheWriteMissingDep, CrashConsistency, "buffer cache", "writes did not include a dependency on the soft write pointer update"},
+	Bug9RefModelCrashReclaim:   {Bug9RefModelCrashReclaim, CrashConsistency, "chunk store", "reference model was not updated correctly after a crash during reclamation"},
+	Bug10UUIDCollision:         {Bug10UUIDCollision, CrashConsistency, "chunk store", "reclamation could forget chunks after a crash and UUID collision"},
+	Bug11WriteFlushRace:        {Bug11WriteFlushRace, Concurrency, "chunk store", "chunk locators could become invalid after a race between write and flush"},
+	Bug12BufferPoolDeadlock:    {Bug12BufferPoolDeadlock, Concurrency, "superblock", "buffer pool exhaustion could cause threads waiting for a superblock update to deadlock"},
+	Bug13ListRemoveRace:        {Bug13ListRemoveRace, Concurrency, "api", "race between control plane operations for listing and removal of shards"},
+	Bug14CompactionReclaimRace: {Bug14CompactionReclaimRace, Concurrency, "index", "race between reclamation and LSM compaction could lose recent index entries"},
+	Bug15RefModelLocatorReuse:  {Bug15RefModelLocatorReuse, Concurrency, "chunk store", "reference model could re-use chunk locators, which other code assumed were unique"},
+	Bug16BulkCreateRemoveRace:  {Bug16BulkCreateRemoveRace, Concurrency, "api", "race between control plane bulk operations for creating and removing shards"},
+}
+
+// Lookup returns the catalog entry for b.
+func Lookup(b Bug) (Info, bool) {
+	info, ok := catalog[b]
+	return info, ok
+}
+
+// All returns the full Fig 5 catalog in paper order.
+func All() []Info {
+	out := make([]Info, 0, len(catalog))
+	for _, info := range catalog {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bug < out[j].Bug })
+	return out
+}
+
+func (b Bug) String() string {
+	if info, ok := catalog[b]; ok {
+		return fmt.Sprintf("bug#%d(%s)", int(b), info.Component)
+	}
+	return fmt.Sprintf("bug#%d", int(b))
+}
+
+// Set is an independent collection of enabled faults. A Set is what test
+// harnesses thread through the system under test so that concurrently running
+// tests do not interfere.
+type Set struct {
+	mu      sync.Mutex
+	enabled [numBugs]bool
+}
+
+// NewSet returns a Set with every fault disabled (the fixed code paths).
+func NewSet(bugs ...Bug) *Set {
+	s := &Set{}
+	for _, b := range bugs {
+		s.Enable(b)
+	}
+	return s
+}
+
+// Enable reintroduces the defect b.
+func (s *Set) Enable(b Bug) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b <= bugInvalid || b >= numBugs {
+		panic(fmt.Sprintf("faults: unknown bug %d", int(b)))
+	}
+	s.enabled[b] = true
+}
+
+// Disable restores the fixed behavior for b.
+func (s *Set) Disable(b Bug) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled[b] = false
+}
+
+// Enabled reports whether the defect b is active. A nil Set behaves as all
+// faults disabled, so production code can hold a nil *Set at zero cost.
+func (s *Set) Enabled(b Bug) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b > bugInvalid && b < numBugs && s.enabled[b]
+}
+
+// Reset disables every fault.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled = [numBugs]bool{}
+}
+
+// List returns the enabled faults in ascending order.
+func (s *Set) List() []Bug {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Bug
+	for b := bugInvalid + 1; b < numBugs; b++ {
+		if s.enabled[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

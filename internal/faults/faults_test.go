@@ -1,0 +1,95 @@
+package faults
+
+import "testing"
+
+func TestCatalogComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("catalog has %d entries, want 16 (Fig 5)", len(all))
+	}
+	classes := map[Class]int{}
+	for i, info := range all {
+		if int(info.Bug) != i+1 {
+			t.Fatalf("catalog out of order at %d: %v", i, info.Bug)
+		}
+		if info.Description == "" || info.Component == "" {
+			t.Fatalf("incomplete entry: %+v", info)
+		}
+		classes[info.Class]++
+	}
+	// Fig 5's grouping: 5 functional correctness, 5 crash consistency,
+	// 6 concurrency.
+	if classes[FunctionalCorrectness] != 5 || classes[CrashConsistency] != 5 || classes[Concurrency] != 6 {
+		t.Fatalf("class split: %v", classes)
+	}
+}
+
+func TestSetEnableDisable(t *testing.T) {
+	s := NewSet()
+	if s.Enabled(Bug1ReclaimOffByOne) {
+		t.Fatal("fresh set has bugs enabled")
+	}
+	s.Enable(Bug1ReclaimOffByOne)
+	if !s.Enabled(Bug1ReclaimOffByOne) {
+		t.Fatal("enable failed")
+	}
+	if s.Enabled(Bug2CacheNotDrained) {
+		t.Fatal("wrong bug enabled")
+	}
+	s.Disable(Bug1ReclaimOffByOne)
+	if s.Enabled(Bug1ReclaimOffByOne) {
+		t.Fatal("disable failed")
+	}
+}
+
+func TestNilSetIsAllFixed(t *testing.T) {
+	var s *Set
+	if s.Enabled(Bug10UUIDCollision) {
+		t.Fatal("nil set enabled a bug")
+	}
+	s.Enable(Bug1ReclaimOffByOne) // must not panic
+	s.Reset()
+	if s.List() != nil {
+		t.Fatal("nil set lists bugs")
+	}
+}
+
+func TestSetListAndReset(t *testing.T) {
+	s := NewSet(Bug3ShutdownMetadataSkip, Bug1ReclaimOffByOne)
+	got := s.List()
+	if len(got) != 2 || got[0] != Bug1ReclaimOffByOne || got[1] != Bug3ShutdownMetadataSkip {
+		t.Fatalf("list: %v", got)
+	}
+	s.Reset()
+	if len(s.List()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	info, ok := Lookup(Bug14CompactionReclaimRace)
+	if !ok || info.Class != Concurrency || info.Component != "index" {
+		t.Fatalf("lookup: %+v %v", info, ok)
+	}
+	if _, ok := Lookup(Bug(99)); ok {
+		t.Fatal("phantom bug found")
+	}
+}
+
+func TestEnableUnknownBugPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSet().Enable(Bug(99))
+}
+
+func TestStrings(t *testing.T) {
+	if Bug10UUIDCollision.String() == "" || FunctionalCorrectness.String() == "" {
+		t.Fatal("empty strings")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class string empty")
+	}
+}

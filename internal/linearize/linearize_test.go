@@ -1,0 +1,168 @@
+package linearize
+
+import "testing"
+
+func op(client int, in KVInput, out KVOutput, invoke, ret int64) Operation {
+	return Operation{Client: client, Input: in, Output: out, Invoke: invoke, Return: ret}
+}
+
+func put(k, v string) KVInput { return KVInput{Op: "put", Key: k, Value: v} }
+func get(k string) KVInput    { return KVInput{Op: "get", Key: k} }
+func del(k string) KVInput    { return KVInput{Op: "delete", Key: k} }
+func found(v string) KVOutput { return KVOutput{Value: v, Found: true} }
+func absent() KVOutput        { return KVOutput{Found: false} }
+func putOK() KVOutput         { return KVOutput{Found: true} }
+func delOK() KVOutput         { return KVOutput{Found: false} }
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(KVSpec(), nil).Ok {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 2),
+		op(1, get("a"), found("1"), 3, 4),
+		op(1, del("a"), delOK(), 5, 6),
+		op(1, get("a"), absent(), 7, 8),
+	}
+	res := Check(KVSpec(), h)
+	if !res.Ok {
+		t.Fatal("sequential history rejected")
+	}
+	if len(res.Linearization) != 4 {
+		t.Fatalf("witness length %d", len(res.Linearization))
+	}
+}
+
+func TestConcurrentOverlapEitherOrder(t *testing.T) {
+	// put(a=1) overlaps get(a): the get may see absent or 1.
+	for _, out := range []KVOutput{absent(), found("1")} {
+		h := []Operation{
+			op(1, put("a", "1"), putOK(), 1, 10),
+			op(2, get("a"), out, 2, 9),
+		}
+		if !Check(KVSpec(), h).Ok {
+			t.Fatalf("overlapping get seeing %v must be linearizable", out)
+		}
+	}
+}
+
+func TestStaleReadNotLinearizable(t *testing.T) {
+	// put(a=1) completed before get(a) started, so absent is illegal.
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 2),
+		op(2, get("a"), absent(), 3, 4),
+	}
+	if Check(KVSpec(), h).Ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestLostUpdateNotLinearizable(t *testing.T) {
+	// Two sequential puts, then a read of the first value: illegal.
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 2),
+		op(1, put("a", "2"), putOK(), 3, 4),
+		op(2, get("a"), found("1"), 5, 6),
+	}
+	if Check(KVSpec(), h).Ok {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestPhantomValueNotLinearizable(t *testing.T) {
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 2),
+		op(2, get("a"), found("42"), 3, 4),
+	}
+	if Check(KVSpec(), h).Ok {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestResurrectionNotLinearizable(t *testing.T) {
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 2),
+		op(1, del("a"), delOK(), 3, 4),
+		op(2, get("a"), found("1"), 5, 6),
+	}
+	if Check(KVSpec(), h).Ok {
+		t.Fatal("resurrected value accepted")
+	}
+}
+
+func TestInterleavedClients(t *testing.T) {
+	// Three clients with overlapping windows; a valid schedule exists.
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 6),
+		op(2, put("a", "2"), putOK(), 2, 7),
+		op(3, get("a"), found("2"), 8, 9),
+		op(3, get("a"), found("2"), 10, 11),
+	}
+	res := Check(KVSpec(), h)
+	if !res.Ok {
+		t.Fatal("valid interleaving rejected")
+	}
+}
+
+func TestFlickerNotLinearizable(t *testing.T) {
+	// Two reads after both puts completed must agree with a single order:
+	// reading 2 then 1 means the puts' order flip-flopped.
+	h := []Operation{
+		op(1, put("a", "1"), putOK(), 1, 2),
+		op(2, put("a", "2"), putOK(), 3, 4),
+		op(3, get("a"), found("2"), 5, 6),
+		op(3, get("a"), found("1"), 7, 8),
+	}
+	if Check(KVSpec(), h).Ok {
+		t.Fatal("flip-flopping reads accepted")
+	}
+}
+
+func TestErrorOutputRejected(t *testing.T) {
+	h := []Operation{
+		op(1, get("a"), KVOutput{Err: true}, 1, 2),
+	}
+	if Check(KVSpec(), h).Ok {
+		t.Fatal("errored op accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	done := r.Begin(1, put("a", "1"))
+	done(putOK())
+	done2 := r.Begin(2, get("a"))
+	done2(found("1"))
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history length %d", len(h))
+	}
+	if h[0].Invoke >= h[0].Return || h[0].Return >= h[1].Invoke {
+		t.Fatalf("bad timestamps: %+v", h)
+	}
+	if !Check(KVSpec(), h).Ok {
+		t.Fatal("recorded history rejected")
+	}
+}
+
+func TestMemoizationHandlesWideHistories(t *testing.T) {
+	// 12 concurrent puts to distinct keys followed by consistent reads:
+	// naive search is 12! orders; memoization must keep this fast.
+	var h []Operation
+	for i := 0; i < 12; i++ {
+		k := string(rune('a' + i))
+		h = append(h, op(i, put(k, "v"), putOK(), 1, 100))
+	}
+	for i := 0; i < 12; i++ {
+		k := string(rune('a' + i))
+		h = append(h, op(20+i, get(k), found("v"), 101+int64(i)*2, 102+int64(i)*2))
+	}
+	res := Check(KVSpec(), h)
+	if !res.Ok {
+		t.Fatal("wide history rejected")
+	}
+	t.Logf("explored %d states", res.StatesExplored)
+}

@@ -1,0 +1,672 @@
+// Package lsm implements ShardStore's index: a log-structured merge tree
+// mapping shard identifiers to values (chunk locator lists), itself stored
+// as chunks on disk (§2.1, WiscKey-style). The in-memory memtable absorbs
+// writes; Flush serializes it into a sorted run chunk and records the run in
+// the tree's metadata; Compact merges runs. Because the tree's own chunks
+// live on reclaimable extents, the tree also implements the reclamation
+// resolver for index-run chunks.
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/coverage"
+	"shardstore/internal/dep"
+	"shardstore/internal/faults"
+	"shardstore/internal/vsync"
+)
+
+// ErrNotFound is returned by Get for absent (or deleted) keys. The reference
+// model returns the identical error so conformance checks compare equal.
+var ErrNotFound = errors.New("index: key not found")
+
+// Index is the interface shared by the production LSM tree and its reference
+// model (§3.2). Writing unit tests against Index lets the reference model
+// double as the mock implementation.
+type Index interface {
+	// Put records key=value. The returned dependency becomes persistent once
+	// the entry is durable (for the LSM tree: run chunk + metadata + their
+	// superblock updates). waits orders the entry after other writes — a
+	// shard put passes its data chunks' dependency here (Fig 2).
+	Put(key string, value []byte, waits ...*dep.Dependency) (*dep.Dependency, error)
+	// Get returns the value for key or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes key. Deleting an absent key is not an error.
+	Delete(key string, waits ...*dep.Dependency) (*dep.Dependency, error)
+	// Keys returns all live keys in ascending order.
+	Keys() ([]string, error)
+	// Flush persists buffered entries.
+	Flush() (*dep.Dependency, error)
+	// Compact merges on-disk structures; a no-op for the model.
+	Compact() error
+}
+
+// ChunkStore is what the tree needs from the chunk layer. The production
+// implementation is chunk.Store; unit tests substitute the reference model.
+type ChunkStore interface {
+	Put(tag chunk.Tag, key string, payload []byte, waits ...*dep.Dependency) (chunk.Locator, *dep.Dependency, func(), error)
+	Get(loc chunk.Locator) ([]byte, error)
+}
+
+// Config tunes the tree.
+type Config struct {
+	// MaxRuns triggers an automatic compaction when a flush would exceed it.
+	MaxRuns int
+	// MaxMemEntries flushes the memtable automatically when it grows past
+	// this; zero disables (harnesses flush explicitly for determinism).
+	MaxMemEntries int
+	// ResetHappened reports whether any extent was reset this session — the
+	// trigger state for seeded bug #3 in the shutdown path.
+	ResetHappened func() bool
+}
+
+// TestHookWindow, when non-nil, observes the bug #14 window opening and
+// closing around the given run locator (diagnostics).
+var TestHookWindow func(loc chunk.Locator, open bool)
+
+// DefaultMaxRuns bounds the run list so metadata records stay small.
+const DefaultMaxRuns = 6
+
+type memEntry struct {
+	value     []byte
+	tombstone bool
+	// wait orders this entry's run chunk after the writes the entry refers
+	// to (its shard data chunks, Fig 2). Waits are per entry: when an entry
+	// is overwritten or relocated, the superseded wait goes with it —
+	// keeping a flat accumulated list would leave the flush waiting on
+	// dependencies that an extent reset has since rerouted, which can tie
+	// the flush and the reset into a cycle.
+	wait *dep.Dependency
+}
+
+type runRef struct {
+	seq uint64
+	loc chunk.Locator
+}
+
+// Tree is the production LSM index.
+type Tree struct {
+	mu   vsync.Mutex
+	cs   ChunkStore
+	ms   MetaStore
+	futs FutureFactory
+	cfg  Config
+	cov  *coverage.Registry
+	bugs *faults.Set
+
+	mem    map[string]memEntry
+	future *dep.Dependency // pending-memtable dependency, bound at flush
+	// flushing holds the memtable generation currently being written to a
+	// run chunk. It stays visible to reads until the run is registered, so
+	// a concurrent Get cannot miss entries mid-flush, and a concurrent Put
+	// goes into the fresh memtable instead of being wiped by the flush — a
+	// lost-update race this very repository's Fig 4 harness caught.
+	flushing  map[string]memEntry
+	flushMu   vsync.Mutex // serializes flushes (one memtable generation in flight)
+	compactMu vsync.Mutex // serializes compactions (flushMu may be held while taking it, never the reverse)
+	runs      []runRef    // newest first
+	runSeq    uint64
+	runCache  map[chunk.Locator][]Entry
+	lastFlush *dep.Dependency
+}
+
+// FutureFactory creates unbound dependencies; satisfied by *dep.Scheduler.
+type FutureFactory interface {
+	Future() *dep.Dependency
+	Bind(future, real *dep.Dependency)
+}
+
+// NewTree opens (or recovers) a tree whose runs are listed in ms. A fresh
+// metadata extent yields an empty tree.
+func NewTree(cs ChunkStore, ms MetaStore, futs FutureFactory, cfg Config, cov *coverage.Registry, bugs *faults.Set) (*Tree, error) {
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = DefaultMaxRuns
+	}
+	t := &Tree{
+		cs:       cs,
+		ms:       ms,
+		futs:     futs,
+		cfg:      cfg,
+		cov:      cov,
+		bugs:     bugs,
+		mem:      make(map[string]memEntry),
+		runCache: make(map[chunk.Locator][]Entry),
+	}
+	payload, err := ms.ReadLatest()
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		runs, err := decodeRunList(payload)
+		if err != nil {
+			return nil, err
+		}
+		t.runs = runs
+		for _, r := range runs {
+			if r.seq >= t.runSeq {
+				t.runSeq = r.seq + 1
+			}
+		}
+		cov.Hit("lsm.recovered")
+	}
+	return t, nil
+}
+
+// MaxMetaPayload returns the metadata payload bound for the given run limit,
+// used to size the metadata slots.
+func MaxMetaPayload(maxRuns int) int {
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+	return 4 + maxRuns*(8+12)
+}
+
+func encodeRunList(runs []runRef) []byte {
+	buf := make([]byte, 0, 4+len(runs)*(8+12))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(runs)))
+	for _, r := range runs {
+		buf = binary.BigEndian.AppendUint64(buf, r.seq)
+		buf = append(buf, chunk.EncodeLocator(r.loc)...)
+	}
+	return buf
+}
+
+func decodeRunList(buf []byte) ([]runRef, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("lsm: short run list")
+	}
+	count := int(binary.BigEndian.Uint32(buf[:4]))
+	rest := buf[4:]
+	if count < 0 || count > len(buf) {
+		return nil, fmt.Errorf("lsm: implausible run count %d", count)
+	}
+	runs := make([]runRef, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("lsm: truncated run list")
+		}
+		seq := binary.BigEndian.Uint64(rest[:8])
+		loc, r2, err := chunk.DecodeLocator(rest[8:])
+		if err != nil {
+			return nil, err
+		}
+		rest = r2
+		runs = append(runs, runRef{seq: seq, loc: loc})
+	}
+	return runs, nil
+}
+
+// Put implements Index.
+func (t *Tree) Put(key string, value []byte, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	t.mu.Lock()
+	t.mem[key] = memEntry{value: append([]byte(nil), value...), wait: dep.All(waits...)}
+	if t.future == nil {
+		t.future = t.futs.Future()
+	}
+	fut := t.future
+	needFlush := t.cfg.MaxMemEntries > 0 && len(t.mem) >= t.cfg.MaxMemEntries
+	t.mu.Unlock()
+	if needFlush {
+		if _, err := t.Flush(); err != nil {
+			return fut, err
+		}
+	}
+	return fut, nil
+}
+
+// Delete implements Index: it buffers a tombstone.
+func (t *Tree) Delete(key string, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mem[key] = memEntry{tombstone: true, wait: dep.All(waits...)}
+	if t.future == nil {
+		t.future = t.futs.Future()
+	}
+	return t.future, nil
+}
+
+// Get implements Index.
+func (t *Tree) Get(key string) ([]byte, error) {
+	t.mu.Lock()
+	if e, ok := t.mem[key]; ok {
+		t.mu.Unlock()
+		if e.tombstone {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.value...), nil
+	}
+	if e, ok := t.flushing[key]; ok {
+		t.mu.Unlock()
+		if e.tombstone {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.value...), nil
+	}
+	runs := append([]runRef(nil), t.runs...)
+	t.mu.Unlock()
+
+	for _, r := range runs {
+		entries, err := t.loadRun(r)
+		if err != nil {
+			return nil, err
+		}
+		if e, ok := searchRun(entries, key); ok {
+			if e.Tombstone {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), e.Value...), nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Keys implements Index.
+func (t *Tree) Keys() ([]string, error) {
+	t.mu.Lock()
+	runs := append([]runRef(nil), t.runs...)
+	mem := make(map[string]memEntry, len(t.mem)+len(t.flushing))
+	for k, v := range t.flushing {
+		mem[k] = v
+	}
+	for k, v := range t.mem {
+		mem[k] = v
+	}
+	t.mu.Unlock()
+
+	state := make(map[string]bool) // key -> live
+	for i := len(runs) - 1; i >= 0; i-- {
+		entries, err := t.loadRun(runs[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			state[e.Key] = !e.Tombstone
+		}
+	}
+	for k, e := range mem {
+		state[k] = !e.tombstone
+	}
+	var keys []string
+	for k, live := range state {
+		if live {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// runKeyFor names the chunk holding run seq; chunk frames carry this key,
+// which is what lets a reader detect that a locator went stale.
+func runKeyFor(seq uint64) string { return fmt.Sprintf("run-%016x", seq) }
+
+// loadRun fetches and decodes one run, memoizing the result.
+//
+// A run locator can go stale concurrently: reclamation relocates run chunks
+// and recycles their extents, so by the time the read lands, the physical
+// location may hold a different chunk entirely. The read is validated two
+// ways — the frame's owner key must match the run's name, and the payload
+// must decode as a run — and on any mismatch the current locator for the
+// same run sequence is fetched from the metadata and the read retried.
+func (t *Tree) loadRun(ref runRef) ([]Entry, error) {
+	loc := ref.loc
+	want := runKeyFor(ref.seq)
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		t.mu.Lock()
+		if entries, ok := t.runCache[loc]; ok {
+			t.mu.Unlock()
+			return entries, nil
+		}
+		t.mu.Unlock()
+		payload, owner, err := t.getRunChunk(loc)
+		if err == nil && (owner == "" || owner == want) {
+			entries, derr := decodeRun(payload)
+			if derr == nil {
+				t.mu.Lock()
+				t.runCache[loc] = entries
+				t.mu.Unlock()
+				return entries, nil
+			}
+			lastErr = fmt.Errorf("lsm: run %v: %w", loc, derr)
+		} else if err != nil {
+			lastErr = fmt.Errorf("lsm: load run %v: %w", loc, err)
+		} else {
+			lastErr = fmt.Errorf("lsm: run %v owned by %q, want %q (stale locator)", loc, owner, want)
+		}
+		// Refresh the locator: relocation may have moved the run.
+		t.mu.Lock()
+		fresh := loc
+		for _, r := range t.runs {
+			if r.seq == ref.seq {
+				fresh = r.loc
+				break
+			}
+		}
+		t.mu.Unlock()
+		if fresh == loc {
+			break // nothing moved; the failure is real
+		}
+		loc = fresh
+	}
+	return nil, lastErr
+}
+
+// runChunkGetter is implemented by chunk stores that expose the owning key
+// (the production store); mocks fall back to plain Get.
+type runChunkGetter interface {
+	GetWithKey(chunk.Locator) ([]byte, string, error)
+}
+
+func (t *Tree) getRunChunk(loc chunk.Locator) ([]byte, string, error) {
+	if g, ok := t.cs.(runChunkGetter); ok {
+		return g.GetWithKey(loc)
+	}
+	payload, err := t.cs.Get(loc)
+	return payload, "", err
+}
+
+// Flush implements Index: it serializes the memtable into a new run chunk,
+// then writes a metadata record pointing at it — exactly the index-entry and
+// LSM-metadata writes of Fig 2, with the metadata ordered after the run and
+// the run ordered after the callers' data chunks.
+func (t *Tree) Flush() (*dep.Dependency, error) {
+	return t.flush(false)
+}
+
+func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
+	// Serialize flushes (and compactions) so only one memtable generation is
+	// in flight at a time.
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+
+	t.mu.Lock()
+	if len(t.mem) == 0 {
+		last := t.lastFlush
+		t.mu.Unlock()
+		if last == nil {
+			return dep.Resolved(), nil
+		}
+		return last, nil
+	}
+	// Swap the memtable: the generation being flushed stays readable via
+	// t.flushing; concurrent Puts land in the fresh memtable.
+	gen := t.mem
+	t.mem = make(map[string]memEntry)
+	t.flushing = gen
+	future := t.future
+	t.future = nil
+	entries := make([]Entry, 0, len(gen))
+	var waits []*dep.Dependency
+	for k, e := range gen {
+		entries = append(entries, Entry{Key: k, Value: e.value, Tombstone: e.tombstone})
+		if e.wait != nil && e.wait != dep.Resolved() {
+			waits = append(waits, e.wait)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	seq := t.runSeq
+	t.runSeq++
+	needCompact := len(t.runs)+1 > t.cfg.MaxRuns
+	t.mu.Unlock()
+
+	// restore puts the un-flushed generation back on the error path (keys
+	// overwritten since keep their newer value).
+	restore := func() {
+		t.mu.Lock()
+		for k, e := range gen {
+			if _, exists := t.mem[k]; !exists {
+				t.mem[k] = e
+			}
+		}
+		t.flushing = nil
+		if future != nil && t.future == nil {
+			t.future = future
+		}
+		t.mu.Unlock()
+	}
+
+	if needCompact {
+		if err := t.Compact(); err != nil {
+			restore()
+			return nil, err
+		}
+	}
+
+	payload := encodeRun(entries)
+	runKey := runKeyFor(seq)
+	loc, cdep, release, err := t.cs.Put(chunk.TagIndexRun, runKey, payload, waits...)
+	if err != nil {
+		restore()
+		return nil, err
+	}
+	defer release()
+
+	// Register the run and enqueue the metadata record atomically (under
+	// t.mu): capturing the run list and assigning the record's generation
+	// must not interleave with a concurrent compaction or relocation, or a
+	// higher-generation record could carry an older run list.
+	t.mu.Lock()
+	t.runs = append([]runRef{{seq: seq, loc: loc}}, t.runs...)
+	t.runCache[loc] = entries
+	rec := encodeRunList(t.runs)
+	t.flushing = nil // the run is registered; reads find it there
+	var flushDep *dep.Dependency
+	var mdErr error
+	if skipMeta {
+		// Seeded bug #3: the shutdown path skipped the metadata record when
+		// an extent had been reset this session, so the freshly flushed run
+		// is forgotten by the next recovery even though every dependency
+		// reported persistent.
+		t.cov.Hit("lsm.bug3.meta_skipped")
+		flushDep = cdep
+	} else {
+		var mdep *dep.Dependency
+		mdep, mdErr = t.ms.WriteRecord(rec, cdep)
+		if mdErr == nil {
+			flushDep = cdep.And(mdep)
+		}
+	}
+	t.mu.Unlock()
+	if mdErr != nil {
+		return nil, mdErr
+	}
+
+	t.mu.Lock()
+	if future != nil {
+		t.futs.Bind(future, flushDep)
+	}
+	t.lastFlush = flushDep
+	t.mu.Unlock()
+	t.cov.Hit("lsm.flush")
+	return flushDep, nil
+}
+
+// Shutdown flushes the memtable for a clean shutdown.
+func (t *Tree) Shutdown() (*dep.Dependency, error) {
+	skipMeta := false
+	if t.bugs.Enabled(faults.Bug3ShutdownMetadataSkip) && t.cfg.ResetHappened != nil && t.cfg.ResetHappened() {
+		skipMeta = true
+	}
+	return t.flush(skipMeta)
+}
+
+// Compact implements Index: it merges every on-disk run into one, dropping
+// tombstones, and rewrites the metadata. The new run's extent stays pinned
+// (the release closure) until the metadata references it; the paper's bug
+// #14 released the pin before the metadata update, letting a concurrent
+// reclamation drop the brand-new run chunk.
+func (t *Tree) Compact() error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	return t.compactLocked()
+}
+
+// compactLocked requires t.compactMu held.
+func (t *Tree) compactLocked() error {
+	t.mu.Lock()
+	runs := append([]runRef(nil), t.runs...)
+	t.mu.Unlock()
+	if len(runs) == 0 {
+		return nil
+	}
+	var loaded [][]Entry
+	for _, r := range runs {
+		entries, err := t.loadRun(r)
+		if err != nil {
+			return err
+		}
+		loaded = append(loaded, entries)
+	}
+	merged := mergeRuns(loaded, true)
+
+	t.mu.Lock()
+	seq := t.runSeq
+	t.runSeq++
+	t.mu.Unlock()
+
+	payload := encodeRun(merged)
+	runKey := runKeyFor(seq)
+	loc, cdep, release, err := t.cs.Put(chunk.TagIndexRun, runKey, payload)
+	if err != nil {
+		return err
+	}
+
+	if t.bugs.Enabled(faults.Bug14CompactionReclaimRace) {
+		// Seeded bug #14 (§6's worked example): compaction unpinned the
+		// extent holding the new run chunk before updating the metadata to
+		// point at it. A reclamation scheduled in that window finds the
+		// chunk unreferenced, drops it, and resets the extent — and the
+		// metadata update then installs a dangling pointer, losing the
+		// index entries the run contained.
+		release()
+		t.cov.Hit("lsm.bug14.early_unpin")
+		t.cov.Hit("lsm.bug14.window@" + loc.String())
+		if TestHookWindow != nil {
+			TestHookWindow(loc, true)
+		}
+		vsync.Yield()
+	} else {
+		defer release()
+	}
+
+	if TestHookWindow != nil && t.bugs.Enabled(faults.Bug14CompactionReclaimRace) {
+		TestHookWindow(loc, false)
+	}
+	t.mu.Lock()
+	// Replace exactly the runs we merged; runs flushed concurrently (they
+	// are prepended) stay.
+	keep := t.runs[:len(t.runs)-len(runs)]
+	t.runs = append(append([]runRef(nil), keep...), runRef{seq: seq, loc: loc})
+	t.runCache[loc] = merged
+	// Prune cache entries for runs the merge superseded.
+	live := make(map[chunk.Locator]bool, len(t.runs))
+	for _, r := range t.runs {
+		live[r.loc] = true
+	}
+	for l := range t.runCache {
+		if !live[l] {
+			delete(t.runCache, l)
+		}
+	}
+	rec := encodeRunList(t.runs)
+	_, werr := t.ms.WriteRecord(rec, cdep)
+	t.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	t.cov.Hit("lsm.compact")
+	return nil
+}
+
+// RunLocs returns the locators of the current on-disk runs (diagnostics).
+func (t *Tree) RunLocs() []chunk.Locator {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]chunk.Locator, 0, len(t.runs))
+	for _, r := range t.runs {
+		out = append(out, r.loc)
+	}
+	return out
+}
+
+// RunCount returns the number of on-disk runs.
+func (t *Tree) RunCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.runs)
+}
+
+// MemLen returns the number of buffered memtable entries.
+func (t *Tree) MemLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.mem)
+}
+
+// PendingFlush reports whether unflushed memtable entries exist.
+func (t *Tree) PendingFlush() bool { return t.MemLen() > 0 }
+
+// --- Reclamation resolver for index-run chunks (§2.1) ---
+
+// RunResolver adapts the tree to chunk.Resolver for TagIndexRun chunks: the
+// reverse lookup consults the metadata run list instead of the index.
+type RunResolver struct{ Tree *Tree }
+
+// ChunkLive reports whether loc backs a current run.
+func (r RunResolver) ChunkLive(key string, loc chunk.Locator) bool {
+	t := r.Tree
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, run := range t.runs {
+		if run.loc == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// RelocateChunk repoints the metadata at an evacuated run chunk.
+func (r RunResolver) RelocateChunk(key string, old, newLoc chunk.Locator, newDep *dep.Dependency) (bool, *dep.Dependency, error) {
+	t := r.Tree
+	t.mu.Lock()
+	found := false
+	for i := range t.runs {
+		if t.runs[i].loc == old {
+			t.runs[i].loc = newLoc
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.mu.Unlock()
+		return false, nil, nil
+	}
+	if entries, ok := t.runCache[old]; ok {
+		t.runCache[newLoc] = entries
+		delete(t.runCache, old)
+	}
+	rec := encodeRunList(t.runs)
+	mdep, err := t.ms.WriteRecord(rec, newDep)
+	t.mu.Unlock()
+	if err != nil {
+		return false, nil, err
+	}
+	t.cov.Hit("lsm.run_relocated")
+	return true, mdep, nil
+}
+
+// SyncReferences implements chunk.Resolver. Run chunks become garbage when a
+// newer metadata record supersedes them (compaction, relocation); the extent
+// reset that destroys a garbage run must therefore wait for the current
+// metadata record — the chained LastDep covers every earlier record and run.
+func (r RunResolver) SyncReferences() (*dep.Dependency, error) {
+	return r.Tree.ms.LastDep(), nil
+}
+
+var _ chunk.Resolver = RunResolver{}
+var _ Index = (*Tree)(nil)

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/dep"
+	"shardstore/internal/faults"
+	"shardstore/internal/lsm"
+	"shardstore/internal/vsync"
+)
+
+// ErrNoChunk is returned by the reference chunk store for unknown locators.
+var ErrNoChunk = errors.New("model: no such chunk")
+
+// RefChunkStore is the reference model for the chunk store: an in-memory
+// map from synthetic locators to payloads. It serves as the mock chunk
+// store when unit-testing components above the chunk layer (the paper's Fig
+// 4 harness "mocks out the persistent chunk storage that backs the LSM
+// tree").
+//
+// The model hands out locators from a monotonic counter — the paper's bug
+// #15 was this very model re-using locators after a simulated reclamation,
+// violating an assumption other code made about locator uniqueness.
+type RefChunkStore struct {
+	mu     vsync.Mutex
+	bugs   *faults.Set
+	chunks map[chunk.Locator][]byte
+	next   int
+	// checkpoint is the counter value at the last reclaim; the bug #15 path
+	// rewinds to it.
+	checkpoint int
+}
+
+// NewRefChunkStore returns an empty reference chunk store.
+func NewRefChunkStore(bugs *faults.Set) *RefChunkStore {
+	return &RefChunkStore{bugs: bugs, chunks: make(map[chunk.Locator][]byte)}
+}
+
+// refExtent is the synthetic extent id for model locators, far outside any
+// real disk geometry so confusion with real locators is detectable.
+const refExtent = 1 << 20
+
+func (r *RefChunkStore) locator(n, length int) chunk.Locator {
+	return chunk.Locator{Extent: refExtent, Offset: n, Length: length}
+}
+
+// Put implements lsm.ChunkStore.
+func (r *RefChunkStore) Put(tag chunk.Tag, key string, payload []byte, waits ...*dep.Dependency) (chunk.Locator, *dep.Dependency, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	loc := r.locator(r.next, len(payload))
+	r.next++
+	r.chunks[loc] = append([]byte(nil), payload...)
+	return loc, dep.Resolved(), func() {}, nil
+}
+
+// Get implements lsm.ChunkStore.
+func (r *RefChunkStore) Get(loc chunk.Locator) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.chunks[loc]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoChunk, loc)
+	}
+	return append([]byte(nil), p...), nil
+}
+
+// Delete drops a chunk from the model.
+func (r *RefChunkStore) Delete(loc chunk.Locator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.chunks, loc)
+}
+
+// Reclaim models the chunk-reclamation background task. In the model it
+// must be a no-op on the visible mapping; under seeded bug #15 it rewinds
+// the locator counter to its last checkpoint, so subsequent Puts re-issue
+// locators that other code (run caches, locator-keyed maps) assumed unique.
+func (r *RefChunkStore) Reclaim() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bugs.Enabled(faults.Bug15RefModelLocatorReuse) {
+		r.next = r.checkpoint
+		return
+	}
+	r.checkpoint = r.next
+}
+
+// Len returns the number of stored chunks.
+func (r *RefChunkStore) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.chunks)
+}
+
+// RefMetaStore is the in-memory mock of the LSM metadata store.
+type RefMetaStore struct {
+	mu     vsync.Mutex
+	latest []byte
+}
+
+// NewRefMetaStore returns an empty metadata mock.
+func NewRefMetaStore() *RefMetaStore { return &RefMetaStore{} }
+
+// WriteRecord implements lsm.MetaStore.
+func (r *RefMetaStore) WriteRecord(payload []byte, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.latest = append([]byte(nil), payload...)
+	return dep.Resolved(), nil
+}
+
+// LastDep implements lsm.MetaStore.
+func (r *RefMetaStore) LastDep() *dep.Dependency { return dep.Resolved() }
+
+// ReadLatest implements lsm.MetaStore.
+func (r *RefMetaStore) ReadLatest() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.latest == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), r.latest...), nil
+}
+
+// ResolvedFutures is a FutureFactory whose futures bind through a throwaway
+// holder — suitable for mock-backed unit tests where persistence is
+// immediate.
+type ResolvedFutures struct{}
+
+// Future implements lsm.FutureFactory.
+func (ResolvedFutures) Future() *dep.Dependency { return dep.NewDetachedFuture() }
+
+// Bind implements lsm.FutureFactory.
+func (ResolvedFutures) Bind(future, real *dep.Dependency) { dep.BindDetached(future, real) }
+
+var (
+	_ lsm.ChunkStore    = (*RefChunkStore)(nil)
+	_ lsm.MetaStore     = (*RefMetaStore)(nil)
+	_ lsm.FutureFactory = ResolvedFutures{}
+)

@@ -1,0 +1,81 @@
+// Package model contains the executable reference models (§3.2 of the
+// paper): small specifications, written in the implementation language, that
+// define the expected behavior of each ShardStore component. They are the
+// "source of truth" the property-based conformance checks compare against,
+// and they double as mock implementations for unit tests — which is what
+// keeps them maintained as the system evolves.
+package model
+
+import (
+	"sort"
+
+	"shardstore/internal/dep"
+	"shardstore/internal/lsm"
+)
+
+// RefIndex is the reference model for the index component: where the
+// production implementation is a persistent LSM tree, the model is a plain
+// hash map (§3.2: "a reference model that uses a simple hash table to store
+// the mapping"). Background operations — flush, compaction, reclamation,
+// clean reboots — are no-ops on the model: they must not change the
+// key-value mapping, and checking the implementation against that no-op is
+// precisely what validates them.
+type RefIndex struct {
+	vals map[string][]byte
+}
+
+// NewRefIndex returns an empty reference index.
+func NewRefIndex() *RefIndex {
+	return &RefIndex{vals: make(map[string][]byte)}
+}
+
+// Put implements lsm.Index.
+func (r *RefIndex) Put(key string, value []byte, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	r.vals[key] = append([]byte(nil), value...)
+	return dep.Resolved(), nil
+}
+
+// Get implements lsm.Index.
+func (r *RefIndex) Get(key string) ([]byte, error) {
+	v, ok := r.vals[key]
+	if !ok {
+		return nil, lsm.ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Delete implements lsm.Index.
+func (r *RefIndex) Delete(key string, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	delete(r.vals, key)
+	return dep.Resolved(), nil
+}
+
+// Keys implements lsm.Index.
+func (r *RefIndex) Keys() ([]string, error) {
+	out := make([]string, 0, len(r.vals))
+	for k := range r.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Flush implements lsm.Index as a no-op.
+func (r *RefIndex) Flush() (*dep.Dependency, error) { return dep.Resolved(), nil }
+
+// Compact implements lsm.Index as a no-op.
+func (r *RefIndex) Compact() error { return nil }
+
+// Len returns the number of live keys.
+func (r *RefIndex) Len() int { return len(r.vals) }
+
+// Clone deep-copies the model (used by the linearizability checker).
+func (r *RefIndex) Clone() *RefIndex {
+	out := NewRefIndex()
+	for k, v := range r.vals {
+		out.vals[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+var _ lsm.Index = (*RefIndex)(nil)

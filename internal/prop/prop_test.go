@@ -1,0 +1,231 @@
+package prop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestIntRange(t *testing.T) {
+	g := IntRange(3, 7)
+	r := rng()
+	for i := 0; i < 100; i++ {
+		v := g(r, 0)
+		if v < 3 || v > 7 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	// Swapped bounds are normalized.
+	g2 := IntRange(7, 3)
+	if v := g2(r, 0); v < 3 || v > 7 {
+		t.Fatalf("swapped bounds: %d", v)
+	}
+}
+
+func TestConstAndMap(t *testing.T) {
+	g := Map(Const(21), func(v int) int { return v * 2 })
+	if g(rng(), 0) != 42 {
+		t.Fatal("map/const broken")
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	g := Weighted([]int{9, 1}, []Gen[string]{Const("a"), Const("b")})
+	r := rng()
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[g(r, 0)]++
+	}
+	if counts["a"] < 700 || counts["b"] == 0 {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestWeightedPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched weights")
+		}
+	}()
+	Weighted([]int{1}, []Gen[int]{Const(1), Const(2)})
+}
+
+func TestBiasedProbabilistic(t *testing.T) {
+	g := Biased(0.9, Const("preferred"), Const("fallback"))
+	r := rng()
+	pref := 0
+	for i := 0; i < 1000; i++ {
+		if g(r, 0) == "preferred" {
+			pref++
+		}
+	}
+	if pref < 800 || pref == 1000 {
+		t.Fatalf("bias must be probabilistic, got %d/1000", pref)
+	}
+}
+
+func TestBytesAndSlices(t *testing.T) {
+	r := rng()
+	for i := 0; i < 50; i++ {
+		b := Bytes()(r, 16)
+		if len(b) > 16 {
+			t.Fatalf("bytes too long: %d", len(b))
+		}
+		s := SliceOf(IntRange(0, 9))(r, 8)
+		if len(s) > 8 {
+			t.Fatalf("slice too long: %d", len(s))
+		}
+	}
+}
+
+func TestCaseSeedDeterministicAndSpread(t *testing.T) {
+	if CaseSeed(1, 0) != CaseSeed(1, 0) {
+		t.Fatal("nondeterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := CaseSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestForAllPasses(t *testing.T) {
+	f := ForAll(Config{Cases: 50}, IntRange(0, 100), func(v int) error {
+		if v < 0 || v > 100 {
+			return errors.New("out of range")
+		}
+		return nil
+	}, nil)
+	if f != nil {
+		t.Fatalf("spurious failure: %+v", f)
+	}
+}
+
+func TestForAllFindsAndShrinks(t *testing.T) {
+	shrink := func(v int) []int {
+		if v == 0 {
+			return nil
+		}
+		return []int{v / 2, v - 1}
+	}
+	f := ForAll(Config{Cases: 200}, IntRange(0, 1000), func(v int) error {
+		if v >= 17 {
+			return fmt.Errorf("too big: %d", v)
+		}
+		return nil
+	}, shrink)
+	if f == nil {
+		t.Fatal("failure not found")
+	}
+	if f.Minimized != 17 {
+		t.Fatalf("minimized to %d, want 17", f.Minimized)
+	}
+}
+
+func TestForAllReplayableBySeed(t *testing.T) {
+	var first int
+	f := ForAll(Config{Cases: 10}, IntRange(0, 1<<30), func(v int) error {
+		first = v
+		return errors.New("always fails")
+	}, nil)
+	r := rand.New(rand.NewSource(f.Seed))
+	replayed := IntRange(0, 1<<30)(r, 32)
+	_ = first
+	if replayed != f.Input {
+		t.Fatalf("seed replay mismatch: %d vs %d", replayed, f.Input)
+	}
+}
+
+func TestMinimizeSeqRemovesIrrelevantOps(t *testing.T) {
+	// Failure iff the sequence contains both 3 and 7.
+	seq := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	fails := func(s []int) bool {
+		has3, has7 := false, false
+		for _, v := range s {
+			if v == 3 {
+				has3 = true
+			}
+			if v == 7 {
+				has7 = true
+			}
+		}
+		return has3 && has7
+	}
+	min := MinimizeSeq(seq, fails, nil, 10000)
+	if len(min) != 2 {
+		t.Fatalf("minimized to %v, want [3 7]", min)
+	}
+}
+
+func TestMinimizeSeqShrinksArguments(t *testing.T) {
+	seq := []int{100, 200}
+	fails := func(s []int) bool {
+		sum := 0
+		for _, v := range s {
+			sum += v
+		}
+		return sum >= 50
+	}
+	shrink := func(v int) []int {
+		if v == 0 {
+			return nil
+		}
+		return []int{0, v / 2}
+	}
+	min := MinimizeSeq(seq, fails, shrink, 10000)
+	sum := 0
+	for _, v := range min {
+		sum += v
+	}
+	if sum >= 150 {
+		t.Fatalf("arguments not shrunk: %v", min)
+	}
+	if !fails(min) {
+		t.Fatalf("minimized sequence no longer fails: %v", min)
+	}
+}
+
+func TestMinimizeSeqRespectsBudget(t *testing.T) {
+	calls := 0
+	seq := make([]int, 64)
+	fails := func(s []int) bool {
+		calls++
+		return true
+	}
+	MinimizeSeq(seq, fails, nil, 10)
+	if calls > 11 {
+		t.Fatalf("budget exceeded: %d calls", calls)
+	}
+}
+
+func TestMinimizeValue(t *testing.T) {
+	prop := func(v int) error {
+		if v >= 10 {
+			return errors.New("big")
+		}
+		return nil
+	}
+	shrink := func(v int) []int { return []int{v - 1} }
+	min, err := MinimizeValue(100, errors.New("big"), prop, shrink, 1000)
+	if min != 10 || err == nil {
+		t.Fatalf("minimized to %d (%v), want 10", min, err)
+	}
+}
+
+func TestOneOfCoversAlternatives(t *testing.T) {
+	g := OneOf(Const(1), Const(2), Const(3))
+	r := rng()
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[g(r, 0)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("alternatives not covered: %v", seen)
+	}
+}

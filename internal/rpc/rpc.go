@@ -1,0 +1,469 @@
+// Package rpc implements ShardStore's shared RPC interface (§2.1 of the
+// paper): storage hosts run an independent key-value store per disk, and a
+// shared endpoint "steers requests to target disks based on shard IDs". The
+// interface offers the usual request-plane calls (put, get, delete) and
+// control-plane operations (list, bulk create/remove, remove/return a disk
+// from service, flush, stats).
+//
+// The wire protocol is deliberately simple: length-prefixed JSON frames over
+// TCP, one request/response pair per frame, concurrent requests multiplexed
+// by connection.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+
+	"shardstore/internal/store"
+)
+
+// MaxFrame bounds a single request/response frame.
+const MaxFrame = 16 << 20
+
+// Op names a wire operation.
+type Op string
+
+// Wire operations.
+const (
+	OpPut        Op = "put"
+	OpGet        Op = "get"
+	OpDelete     Op = "delete"
+	OpList       Op = "list"
+	OpBulkCreate Op = "bulk_create"
+	OpBulkRemove Op = "bulk_remove"
+	OpRemoveDisk Op = "remove_disk"
+	OpReturnDisk Op = "return_disk"
+	OpFlush      Op = "flush"
+	OpStats      Op = "stats"
+)
+
+// Request is one wire request.
+type Request struct {
+	Op      Op       `json:"op"`
+	ShardID string   `json:"shard_id,omitempty"`
+	Value   []byte   `json:"value,omitempty"`
+	Shards  []string `json:"shards,omitempty"`
+	Values  [][]byte `json:"values,omitempty"`
+	Disk    int      `json:"disk,omitempty"` // control-plane target disk
+}
+
+// Response is one wire response.
+type Response struct {
+	OK     bool     `json:"ok"`
+	Err    string   `json:"err,omitempty"`
+	Code   string   `json:"code,omitempty"` // "not_found", "out_of_service", ...
+	Value  []byte   `json:"value,omitempty"`
+	Shards []string `json:"shards,omitempty"`
+	Stats  *Stats   `json:"stats,omitempty"`
+}
+
+// Stats is the aggregate server view.
+type Stats struct {
+	Disks       int      `json:"disks"`
+	Shards      int      `json:"shards"`
+	ShardsPer   []int    `json:"shards_per_disk"`
+	InService   []bool   `json:"in_service"`
+	ChunkPuts   []uint64 `json:"chunk_puts"`
+	Reclaims    []uint64 `json:"reclaims"`
+	GetsPerDisk []uint64 `json:"gets_per_disk"`
+}
+
+// Error codes.
+const (
+	CodeNotFound     = "not_found"
+	CodeOutOfService = "out_of_service"
+	CodeBadRequest   = "bad_request"
+	CodeInternal     = "internal"
+)
+
+// ErrNotFound mirrors store.ErrNotFound on the client side.
+var ErrNotFound = errors.New("rpc: shard not found")
+
+// ErrOutOfService mirrors store.ErrOutOfService on the client side.
+var ErrOutOfService = errors.New("rpc: disk out of service")
+
+// writeFrame sends one length-prefixed JSON frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("rpc: frame too large: %d", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame receives one length-prefixed JSON frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("rpc: frame too large: %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Server hosts one store per disk behind a shared listener.
+type Server struct {
+	mu     sync.Mutex
+	stores []*store.Store
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer wraps the given per-disk stores.
+func NewServer(stores []*store.Store) *Server {
+	return &Server{stores: append([]*store.Store(nil), stores...)}
+}
+
+// steer picks the disk for a shard id (the §2.1 steering function).
+func (s *Server) steer(shardID string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(shardID))
+	return int(h.Sum32() % uint32(len(s.stores)))
+}
+
+// Serve starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errResponse(err error) *Response {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		code = CodeNotFound
+	case errors.Is(err, store.ErrOutOfService):
+		code = CodeOutOfService
+	}
+	return &Response{OK: false, Err: err.Error(), Code: code}
+}
+
+// storeFor returns the steering target for a request-plane call, or the
+// explicit disk for control-plane calls.
+func (s *Server) storeFor(req *Request) (*store.Store, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.stores) == 0 {
+		return nil, 0, errors.New("rpc: no disks")
+	}
+	idx := req.Disk
+	if req.ShardID != "" {
+		idx = s.steer(req.ShardID)
+	}
+	if idx < 0 || idx >= len(s.stores) {
+		return nil, 0, fmt.Errorf("rpc: disk %d out of range", idx)
+	}
+	return s.stores[idx], idx, nil
+}
+
+// replaceStore swaps the store for disk idx (after a service-cycle reopen).
+func (s *Server) replaceStore(idx int, ns *store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores[idx] = ns
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	st, idx, err := s.storeFor(req)
+	if err != nil {
+		return &Response{OK: false, Err: err.Error(), Code: CodeBadRequest}
+	}
+	switch req.Op {
+	case OpPut:
+		if req.ShardID == "" {
+			return &Response{OK: false, Err: "missing shard_id", Code: CodeBadRequest}
+		}
+		if _, err := st.Put(req.ShardID, req.Value); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+	case OpGet:
+		v, err := st.Get(req.ShardID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Value: v}
+	case OpDelete:
+		if _, err := st.Delete(req.ShardID); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+	case OpList:
+		// Control plane: list across all disks.
+		var all []string
+		s.mu.Lock()
+		stores := append([]*store.Store(nil), s.stores...)
+		s.mu.Unlock()
+		for _, st := range stores {
+			ids, err := st.List()
+			if err != nil {
+				if errors.Is(err, store.ErrOutOfService) {
+					continue
+				}
+				return errResponse(err)
+			}
+			all = append(all, ids...)
+		}
+		return &Response{OK: true, Shards: all}
+	case OpBulkCreate:
+		if len(req.Shards) != len(req.Values) {
+			return &Response{OK: false, Err: "shards/values mismatch", Code: CodeBadRequest}
+		}
+		// Steer each shard to its disk.
+		for i, id := range req.Shards {
+			target, _, err := s.storeFor(&Request{ShardID: id})
+			if err != nil {
+				return errResponse(err)
+			}
+			if _, err := target.Put(id, req.Values[i]); err != nil {
+				return errResponse(err)
+			}
+		}
+		return &Response{OK: true}
+	case OpBulkRemove:
+		for _, id := range req.Shards {
+			target, _, err := s.storeFor(&Request{ShardID: id})
+			if err != nil {
+				return errResponse(err)
+			}
+			if _, err := target.BulkRemove([]string{id}); err != nil {
+				return errResponse(err)
+			}
+		}
+		return &Response{OK: true}
+	case OpRemoveDisk:
+		if err := st.RemoveFromService(); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+	case OpReturnDisk:
+		ns, err := st.ReturnToService()
+		if err != nil {
+			return errResponse(err)
+		}
+		s.replaceStore(idx, ns)
+		return &Response{OK: true}
+	case OpFlush:
+		if err := st.Pump(); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+	case OpStats:
+		return &Response{OK: true, Stats: s.stats()}
+	default:
+		return &Response{OK: false, Err: fmt.Sprintf("unknown op %q", req.Op), Code: CodeBadRequest}
+	}
+}
+
+func (s *Server) stats() *Stats {
+	s.mu.Lock()
+	stores := append([]*store.Store(nil), s.stores...)
+	s.mu.Unlock()
+	out := &Stats{Disks: len(stores)}
+	for _, st := range stores {
+		ids, err := st.List()
+		inSvc := !errors.Is(err, store.ErrOutOfService)
+		out.InService = append(out.InService, inSvc)
+		out.ShardsPer = append(out.ShardsPer, len(ids))
+		out.Shards += len(ids)
+		cs := st.Chunks().Stats()
+		out.ChunkPuts = append(out.ChunkPuts, cs.Puts)
+		out.Reclaims = append(out.Reclaims, cs.Reclaims)
+		out.GetsPerDisk = append(out.GetsPerDisk, cs.Gets)
+	}
+	return out
+}
+
+// Client is a synchronous RPC client. It is safe for concurrent use (calls
+// are serialized over one connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one round trip.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) do(req *Request) (*Response, error) {
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		switch resp.Code {
+		case CodeNotFound:
+			return resp, ErrNotFound
+		case CodeOutOfService:
+			return resp, ErrOutOfService
+		default:
+			return resp, fmt.Errorf("rpc: %s", resp.Err)
+		}
+	}
+	return resp, nil
+}
+
+// Put stores a shard.
+func (c *Client) Put(shardID string, value []byte) error {
+	_, err := c.do(&Request{Op: OpPut, ShardID: shardID, Value: value})
+	return err
+}
+
+// Get fetches a shard.
+func (c *Client) Get(shardID string) ([]byte, error) {
+	resp, err := c.do(&Request{Op: OpGet, ShardID: shardID})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Value == nil {
+		return []byte{}, nil
+	}
+	return resp.Value, nil
+}
+
+// Delete removes a shard.
+func (c *Client) Delete(shardID string) error {
+	_, err := c.do(&Request{Op: OpDelete, ShardID: shardID})
+	return err
+}
+
+// List returns all shard ids across disks.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.do(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Shards, nil
+}
+
+// BulkCreate stores a batch of shards (control plane).
+func (c *Client) BulkCreate(ids []string, values [][]byte) error {
+	_, err := c.do(&Request{Op: OpBulkCreate, Shards: ids, Values: values})
+	return err
+}
+
+// BulkRemove deletes a batch of shards (control plane).
+func (c *Client) BulkRemove(ids []string) error {
+	_, err := c.do(&Request{Op: OpBulkRemove, Shards: ids})
+	return err
+}
+
+// RemoveDisk takes disk idx out of service.
+func (c *Client) RemoveDisk(idx int) error {
+	_, err := c.do(&Request{Op: OpRemoveDisk, Disk: idx})
+	return err
+}
+
+// ReturnDisk brings disk idx back into service.
+func (c *Client) ReturnDisk(idx int) error {
+	_, err := c.do(&Request{Op: OpReturnDisk, Disk: idx})
+	return err
+}
+
+// Flush pumps disk idx's IO scheduler to durability.
+func (c *Client) Flush(idx int) error {
+	_, err := c.do(&Request{Op: OpFlush, Disk: idx})
+	return err
+}
+
+// Stats returns the aggregate server statistics.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.do(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

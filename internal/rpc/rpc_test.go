@@ -1,0 +1,258 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shardstore/internal/faults"
+	"shardstore/internal/store"
+)
+
+func newTestServer(t *testing.T, disks int) (*Server, *Client) {
+	t.Helper()
+	var stores []*store.Store
+	for i := 0; i < disks; i++ {
+		st, _, err := store.New(store.Config{Seed: int64(i + 1), Bugs: faults.NewSet()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, st)
+	}
+	srv := NewServer(stores)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return srv, c
+}
+
+func TestPutGetDeleteOverRPC(t *testing.T) {
+	_, c := newTestServer(t, 3)
+	if err := c.Put("shard-1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("shard-1")
+	if err != nil || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if err := c.Delete("shard-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("shard-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted shard: %v", err)
+	}
+}
+
+func TestSteeringSpreadsShards(t *testing.T) {
+	srv, c := newTestServer(t, 4)
+	for i := 0; i < 40; i++ {
+		if err := c.Put(fmt.Sprintf("shard-%03d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := srv.stats()
+	nonEmpty := 0
+	for _, n := range stats.ShardsPer {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 3 {
+		t.Fatalf("steering did not spread shards: %v", stats.ShardsPer)
+	}
+	if stats.Shards != 40 {
+		t.Fatalf("total shards: %d", stats.Shards)
+	}
+}
+
+func TestSteeringIsStable(t *testing.T) {
+	srv, c := newTestServer(t, 4)
+	if err := c.Put("stable-shard", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if srv.steer("stable-shard") != srv.steer("stable-shard") {
+		t.Fatal("steering nondeterministic")
+	}
+	// Overwrite routes to the same disk: the value is replaced, not duplicated.
+	if err := c.Put("stable-shard", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Get("stable-shard")
+	if !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("overwrite: %q", v)
+	}
+	ids, _ := c.List()
+	count := 0
+	for _, id := range ids {
+		if id == "stable-shard" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("shard appears %d times", count)
+	}
+}
+
+func TestListAcrossDisks(t *testing.T) {
+	_, c := newTestServer(t, 3)
+	want := map[string]bool{}
+	for i := 0; i < 9; i++ {
+		id := fmt.Sprintf("s%d", i)
+		want[id] = true
+		if err := c.Put(id, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 9 {
+		t.Fatalf("list: %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("unexpected shard %q", id)
+		}
+	}
+}
+
+func TestBulkOps(t *testing.T) {
+	_, c := newTestServer(t, 2)
+	ids := []string{"a", "b", "c"}
+	vals := [][]byte{{1}, {2}, {3}}
+	if err := c.BulkCreate(ids, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		v, err := c.Get(id)
+		if err != nil || !bytes.Equal(v, vals[i]) {
+			t.Fatalf("bulk-created %q: %v %v", id, v, err)
+		}
+	}
+	if err := c.BulkRemove([]string{"a", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("a not removed")
+	}
+	if _, err := c.Get("b"); err != nil {
+		t.Fatal("b removed by mistake")
+	}
+}
+
+func TestServiceCycleOverRPC(t *testing.T) {
+	srv, c := newTestServer(t, 2)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	disk := srv.steer("k")
+	if err := c.RemoveDisk(disk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrOutOfService) {
+		t.Fatalf("out-of-service read: %v", err)
+	}
+	if err := c.ReturnDisk(disk); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("after return: %q %v", v, err)
+	}
+}
+
+func TestFlushAndStats(t *testing.T) {
+	_, c := newTestServer(t, 2)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Disks != 2 || stats.Shards != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, 1)
+	if err := c.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("empty")
+	if err != nil || v == nil || len(v) != 0 {
+		t.Fatalf("empty value: %v %v", v, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	addr := srv.ln.Addr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				id := fmt.Sprintf("g%d-s%d", g, i)
+				if err := c.Put(id, []byte{byte(g), byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+				v, err := c.Get(id)
+				if err != nil || v[0] != byte(g) {
+					errs <- fmt.Errorf("read-after-write %s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, c := newTestServer(t, 1)
+	resp, err := c.call(&Request{Op: "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeBadRequest {
+		t.Fatalf("bogus op: %+v", resp)
+	}
+	resp, _ = c.call(&Request{Op: OpPut})
+	if resp.OK {
+		t.Fatal("put without shard id accepted")
+	}
+	resp, _ = c.call(&Request{Op: OpBulkCreate, Shards: []string{"a"}, Values: nil})
+	if resp.OK {
+		t.Fatal("mismatched bulk create accepted")
+	}
+}

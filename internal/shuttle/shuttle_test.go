@@ -1,0 +1,267 @@
+package shuttle
+
+import (
+	"fmt"
+	"testing"
+
+	"shardstore/internal/vsync"
+)
+
+// TestFindsAtomicityViolation: a classic lost-update race — two threads do
+// read-modify-write on a shared counter with the mutex held only for the
+// individual accesses, not the whole update. Some interleaving must lose an
+// update, and every strategy should find it.
+func TestFindsAtomicityViolation(t *testing.T) {
+	body := func() {
+		var mu vsync.Mutex
+		counter := 0
+		read := func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			return counter
+		}
+		write := func(v int) {
+			mu.Lock()
+			defer mu.Unlock()
+			counter = v
+		}
+		h1 := vsync.Go("inc1", func() { write(read() + 1) })
+		h2 := vsync.Go("inc2", func() { write(read() + 1) })
+		h1.Join()
+		h2.Join()
+		if counter != 2 {
+			panic(fmt.Sprintf("lost update: counter = %d", counter))
+		}
+	}
+	for _, strat := range []Strategy{NewRandom(7), NewPCT(7, 3, 100), NewDFS()} {
+		rep := Explore(Options{Strategy: strat, Iterations: 2000}, body)
+		if !rep.Failed() {
+			t.Fatalf("%s did not find the lost update in %d iterations", strat.Name(), rep.Iterations)
+		}
+		f := rep.First()
+		if f.Kind != FailPanic {
+			t.Fatalf("%s: wrong failure kind %v", strat.Name(), f.Kind)
+		}
+		// The failure must replay deterministically from its trace.
+		if r := Replay(body, f.Trace, 100000); r == nil {
+			t.Fatalf("%s: failure did not replay from trace", strat.Name())
+		}
+	}
+}
+
+// TestNoFalsePositive: correct locking never fails.
+func TestNoFalsePositive(t *testing.T) {
+	body := func() {
+		var mu vsync.Mutex
+		counter := 0
+		inc := func() {
+			mu.Lock()
+			defer mu.Unlock()
+			counter++
+		}
+		h1 := vsync.Go("inc1", inc)
+		h2 := vsync.Go("inc2", inc)
+		h1.Join()
+		h2.Join()
+		if counter != 2 {
+			panic("impossible")
+		}
+	}
+	rep := Explore(Options{Strategy: NewRandom(3), Iterations: 500}, body)
+	if rep.Failed() {
+		t.Fatalf("false positive: %v", rep.First())
+	}
+}
+
+// TestDetectsDeadlock: the AB-BA lock-order deadlock.
+func TestDetectsDeadlock(t *testing.T) {
+	body := func() {
+		var a, b vsync.Mutex
+		h1 := vsync.Go("ab", func() {
+			a.Lock()
+			vsync.Yield()
+			b.Lock()
+			b.Unlock()
+			a.Unlock()
+		})
+		h2 := vsync.Go("ba", func() {
+			b.Lock()
+			vsync.Yield()
+			a.Lock()
+			a.Unlock()
+			b.Unlock()
+		})
+		h1.Join()
+		h2.Join()
+	}
+	rep := Explore(Options{Strategy: NewRandom(11), Iterations: 2000}, body)
+	if !rep.Failed() {
+		t.Fatal("deadlock not found")
+	}
+	if rep.First().Kind != FailDeadlock {
+		t.Fatalf("wrong kind: %v", rep.First())
+	}
+	if r := Replay(body, rep.First().Trace, 100000); r == nil || r.Kind != FailDeadlock {
+		t.Fatalf("deadlock did not replay: %v", r)
+	}
+}
+
+// TestDFSExhaustive: DFS must enumerate the complete bounded space of a tiny
+// program and terminate with Exhausted set.
+func TestDFSExhaustive(t *testing.T) {
+	body := func() {
+		var mu vsync.Mutex
+		x := 0
+		h := vsync.Go("w", func() {
+			mu.Lock()
+			x++
+			mu.Unlock()
+		})
+		mu.Lock()
+		x++
+		mu.Unlock()
+		h.Join()
+		_ = x
+	}
+	dfs := NewDFS()
+	rep := Explore(Options{Strategy: dfs, Iterations: 100000}, body)
+	if rep.Failed() {
+		t.Fatalf("unexpected failure: %v", rep.First())
+	}
+	if !rep.Exhausted {
+		t.Fatalf("DFS did not exhaust the space in %d iterations", rep.Iterations)
+	}
+	if rep.Iterations < 2 {
+		t.Fatalf("suspiciously few interleavings: %d", rep.Iterations)
+	}
+	t.Logf("DFS explored %d interleavings, %d total steps", rep.Iterations, rep.TotalSteps)
+}
+
+// TestDFSFindsRareInterleaving: a bug hidden behind a specific 3-step
+// ordering that random scheduling hits rarely; DFS must find it surely.
+func TestDFSFindsRareInterleaving(t *testing.T) {
+	body := func() {
+		var mu vsync.Mutex
+		stage := 0
+		step := func(want, next int) {
+			mu.Lock()
+			if stage == want {
+				stage = next
+			}
+			mu.Unlock()
+		}
+		h1 := vsync.Go("t1", func() { step(0, 1) })
+		h2 := vsync.Go("t2", func() { step(1, 2) })
+		h3 := vsync.Go("t3", func() { step(2, 3) })
+		h1.Join()
+		h2.Join()
+		h3.Join()
+		if stage == 3 {
+			panic("reached the rare ordering")
+		}
+	}
+	rep := Explore(Options{Strategy: NewDFS(), Iterations: 200000}, body)
+	if !rep.Failed() {
+		t.Fatalf("DFS missed the rare ordering (%d iterations, exhausted=%v)", rep.Iterations, rep.Exhausted)
+	}
+}
+
+// TestCondVar: producer/consumer with a condition variable completes without
+// deadlock under many schedules.
+func TestCondVar(t *testing.T) {
+	body := func() {
+		var mu vsync.Mutex
+		cond := vsync.NewCond(&mu)
+		queue := 0
+		done := false
+		consumer := vsync.Go("consumer", func() {
+			mu.Lock()
+			defer mu.Unlock()
+			for queue == 0 && !done {
+				cond.Wait()
+			}
+			if queue > 0 {
+				queue--
+			}
+		})
+		producer := vsync.Go("producer", func() {
+			mu.Lock()
+			queue++
+			cond.Broadcast()
+			mu.Unlock()
+		})
+		producer.Join()
+		consumer.Join()
+	}
+	rep := Explore(Options{Strategy: NewRandom(5), Iterations: 500}, body)
+	if rep.Failed() {
+		t.Fatalf("condvar harness failed: %v", rep.First())
+	}
+}
+
+// TestRWMutex: readers can share; writer excludes.
+func TestRWMutex(t *testing.T) {
+	body := func() {
+		var rw vsync.RWMutex
+		val := 0
+		w := vsync.Go("writer", func() {
+			rw.Lock()
+			val = 1
+			rw.Unlock()
+		})
+		r1 := vsync.Go("reader1", func() {
+			rw.RLock()
+			v := val
+			rw.RUnlock()
+			if v != 0 && v != 1 {
+				panic("torn read")
+			}
+		})
+		w.Join()
+		r1.Join()
+		rw.RLock()
+		if val != 1 {
+			panic("write lost")
+		}
+		rw.RUnlock()
+	}
+	rep := Explore(Options{Strategy: NewRandom(9), Iterations: 500}, body)
+	if rep.Failed() {
+		t.Fatalf("rwmutex harness failed: %v", rep.First())
+	}
+}
+
+// TestStepBound: an infinite loop with yields trips the step bound rather
+// than hanging.
+func TestStepBound(t *testing.T) {
+	body := func() {
+		h := vsync.Go("spinner", func() {
+			for {
+				vsync.Yield()
+			}
+		})
+		h.Join()
+	}
+	rep := Explore(Options{Strategy: NewRandom(1), Iterations: 1, MaxSteps: 500}, body)
+	if !rep.Failed() || rep.First().Kind != FailStepBound {
+		t.Fatalf("step bound not enforced: %+v", rep)
+	}
+}
+
+// TestPassthroughUnaffected: vsync primitives behave as plain sync outside
+// an exploration.
+func TestPassthroughUnaffected(t *testing.T) {
+	var mu vsync.Mutex
+	n := 0
+	h := vsync.Go("bg", func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	h.Join()
+	mu.Lock()
+	if n != 1 {
+		t.Fatal("passthrough broken")
+	}
+	mu.Unlock()
+}

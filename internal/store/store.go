@@ -1,0 +1,445 @@
+// Package store implements the ShardStore key-value storage node API (§2 of
+// the paper): put/get/delete of shards, the background maintenance tasks
+// (index flush and compaction, chunk reclamation, superblock flush), clean
+// shutdown, crash + recovery, and the control-plane operations (list, bulk
+// create/remove, remove/return from service).
+//
+// A shard's value is split into one or more data chunks in the chunk store;
+// the index entry written to the LSM tree is the encoded list of chunk
+// locators. A put's returned dependency covers the data chunks, the index
+// entry (run chunk + LSM metadata), and the superblock soft-write-pointer
+// updates — the dependency graph of the paper's Fig 2.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/coverage"
+	"shardstore/internal/dep"
+	"shardstore/internal/disk"
+	"shardstore/internal/extent"
+	"shardstore/internal/faults"
+	"shardstore/internal/lsm"
+	"shardstore/internal/vsync"
+)
+
+// Store-level errors.
+var (
+	// ErrNotFound is returned by Get for unknown shards.
+	ErrNotFound = lsm.ErrNotFound
+	// ErrOutOfService is returned while the disk is removed from service.
+	ErrOutOfService = errors.New("store: disk out of service")
+	// ErrCorruptEntry is returned when an index entry fails to decode.
+	ErrCorruptEntry = errors.New("store: corrupt index entry")
+)
+
+// Config assembles a storage node.
+type Config struct {
+	// Disk is the geometry for a freshly created disk (ignored by Reopen).
+	Disk disk.Config
+	// Seed drives all internal randomness deterministically.
+	Seed int64
+	// MaxChunkPayload splits shard values into chunks of at most this many
+	// bytes (§2.1: "a single shard comprises one or more chunks depending on
+	// its size"). Zero selects a default of 1.5 pages.
+	MaxChunkPayload int
+	// CacheCapacity is the buffer cache size in chunks.
+	CacheCapacity int
+	// MaxRuns bounds the LSM run list before auto-compaction.
+	MaxRuns int
+	// MaxMemEntries auto-flushes the memtable; zero disables.
+	MaxMemEntries int
+	// AutoFlushThreshold auto-flushes the superblock; zero disables.
+	AutoFlushThreshold int
+	// StagingTokens bounds staged superblock mutations (bug #12 pool).
+	StagingTokens int
+	// UUIDGen optionally overrides chunk UUID generation (§4.2 biasing).
+	UUIDGen func() chunk.UUID
+	// UUIDZeroBias biases chunk UUIDs toward all-zeros (see chunk.Config).
+	UUIDZeroBias float64
+	// Bugs selects seeded faults; nil means all fixed.
+	Bugs *faults.Set
+	// Coverage optionally records probe hits.
+	Coverage *coverage.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Disk.PageSize == 0 {
+		c.Disk = disk.DefaultConfig()
+	}
+	if c.MaxChunkPayload <= 0 {
+		c.MaxChunkPayload = c.Disk.PageSize + c.Disk.PageSize/2
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 32
+	}
+	return c
+}
+
+// Store is one storage node (one disk's key-value store).
+type Store struct {
+	mu  vsync.Mutex
+	cfg Config
+
+	d     *disk.Disk
+	sched *dep.Scheduler
+	em    *extent.Manager
+	cs    *chunk.Store
+	idx   *lsm.Tree
+
+	// catalog is the control plane's sorted view of shard ids (bug #13/#16
+	// sites operate on it).
+	catalog []string
+
+	inService bool
+	rng       *rand.Rand
+}
+
+// Open creates or recovers a storage node on d. A zero-filled disk is
+// formatted; a disk with a valid superblock is recovered from it.
+func Open(d *disk.Disk, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	cov := cfg.Coverage
+	bugs := cfg.Bugs
+	sched := dep.NewScheduler(d, cov)
+	em, err := extent.Recover(sched, extent.Config{
+		AutoFlushThreshold: cfg.AutoFlushThreshold,
+		StagingTokens:      cfg.StagingTokens,
+	}, cov, bugs)
+	if err != nil {
+		return nil, err
+	}
+	cs := chunk.NewStore(em, chunk.Config{UUIDGen: cfg.UUIDGen, UUIDZeroBias: cfg.UUIDZeroBias, CacheCapacity: cfg.CacheCapacity}, cfg.Seed, cov, bugs)
+	ms, err := lsm.NewExtentMetaStore(sched, extent.MetaExtent, lsm.MaxMetaPayload(cfg.MaxRuns), cov)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := lsm.NewTree(cs, ms, sched, lsm.Config{
+		MaxRuns:       cfg.MaxRuns,
+		MaxMemEntries: cfg.MaxMemEntries,
+		ResetHappened: em.ResetHappened,
+	}, cov, bugs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:       cfg,
+		d:         d,
+		sched:     sched,
+		em:        em,
+		cs:        cs,
+		idx:       idx,
+		inService: true,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	cs.RegisterResolver(chunk.TagIndexRun, lsm.RunResolver{Tree: idx})
+	cs.RegisterResolver(chunk.TagData, dataResolver{s: s})
+	keys, err := idx.Keys()
+	if err != nil {
+		return nil, fmt.Errorf("store: catalog rebuild: %w", err)
+	}
+	s.catalog = keys
+	cov.Hit("store.open")
+	return s, nil
+}
+
+// New creates a fresh disk from cfg.Disk and opens a store on it.
+func New(cfg Config) (*Store, *disk.Disk, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Disk.Coverage == nil {
+		cfg.Disk.Coverage = cfg.Coverage
+	}
+	d, err := disk.New(cfg.Disk)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := Open(d, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, d, nil
+}
+
+// Disk returns the underlying disk.
+func (s *Store) Disk() *disk.Disk { return s.d }
+
+// Config returns the configuration the store was opened with (with defaults
+// applied), so a recovered instance can be opened identically.
+func (s *Store) Config() Config { return s.cfg }
+
+// Scheduler returns the IO scheduler.
+func (s *Store) Scheduler() *dep.Scheduler { return s.sched }
+
+// Extents returns the extent manager.
+func (s *Store) Extents() *extent.Manager { return s.em }
+
+// Chunks returns the chunk store.
+func (s *Store) Chunks() *chunk.Store { return s.cs }
+
+// Index returns the LSM index.
+func (s *Store) Index() *lsm.Tree { return s.idx }
+
+// Reseed re-seeds internal randomness (chunk UUIDs etc.) so harness op
+// sequences replay deterministically after minimization (§4.3).
+func (s *Store) Reseed(seed int64) {
+	s.mu.Lock()
+	s.rng = rand.New(rand.NewSource(seed))
+	s.mu.Unlock()
+	s.cs.Reseed(seed)
+}
+
+// --- index entry encoding: the list of chunk locators for a shard ---
+
+func encodeEntry(locs []chunk.Locator) []byte {
+	buf := make([]byte, 0, 2+len(locs)*12)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(locs)))
+	for _, l := range locs {
+		buf = append(buf, chunk.EncodeLocator(l)...)
+	}
+	return buf
+}
+
+// DecodeEntry parses an index entry into chunk locators. Exported for the
+// serialization-robustness property tests (§7).
+func DecodeEntry(buf []byte) ([]chunk.Locator, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("%w: short entry", ErrCorruptEntry)
+	}
+	count := int(binary.BigEndian.Uint16(buf[:2]))
+	rest := buf[2:]
+	locs := make([]chunk.Locator, 0, count)
+	for i := 0; i < count; i++ {
+		l, r2, err := chunk.DecodeLocator(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptEntry, err)
+		}
+		locs = append(locs, l)
+		rest = r2
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptEntry, len(rest))
+	}
+	return locs, nil
+}
+
+// Put stores data under shardID and returns the dependency that becomes
+// persistent once the shard is durable (data chunks + index entry + LSM
+// metadata + superblock pointer updates; Fig 2). The shard is readable
+// immediately; the dependency is for durability polling.
+func (s *Store) Put(shardID string, data []byte) (*dep.Dependency, error) {
+	if err := s.requireInService(); err != nil {
+		return nil, err
+	}
+	// Chunk the value.
+	var locs []chunk.Locator
+	var releases []func()
+	dataDep := dep.Resolved()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	pieces := splitValue(data, s.cfg.MaxChunkPayload)
+	for _, piece := range pieces {
+		loc, d, release, err := s.cs.Put(chunk.TagData, shardID, piece)
+		if err != nil {
+			return nil, err
+		}
+		releases = append(releases, release)
+		locs = append(locs, loc)
+		dataDep = dataDep.And(d)
+	}
+	// The index entry is ordered after the shard data (Fig 2).
+	idxDep, err := s.idx.Put(shardID, encodeEntry(locs), dataDep)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.catalogInsertLocked(shardID)
+	s.mu.Unlock()
+	s.cfg.Coverage.Hit("store.put")
+	return dataDep.And(idxDep), nil
+}
+
+// splitValue cuts data into max-sized pieces; an empty value still gets one
+// empty chunk so the shard exists on disk.
+func splitValue(data []byte, max int) [][]byte {
+	if len(data) == 0 {
+		return [][]byte{{}}
+	}
+	var out [][]byte
+	for len(data) > 0 {
+		n := max
+		if n > len(data) {
+			n = len(data)
+		}
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}
+
+// Get returns the shard's data or ErrNotFound.
+//
+// Because reclamation can relocate a shard's chunks concurrently with a
+// read, a locator fetched from the index may be stale by the time its chunk
+// is read. The chunk frame carries its owning key, so Get validates every
+// chunk it reads against shardID and retries once through the index on a
+// mismatch or decode failure. Seeded bug #11 skips that validation — the
+// race the paper describes as "chunk locators could become invalid after a
+// race between write and flush".
+func (s *Store) Get(shardID string) ([]byte, error) {
+	if err := s.requireInService(); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		entry, err := s.idx.Get(shardID)
+		if err != nil {
+			return nil, err
+		}
+		locs, err := DecodeEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		data, err := s.readChunks(shardID, locs)
+		if err == nil {
+			s.cfg.Coverage.Hit("store.get")
+			return data, nil
+		}
+		lastErr = err
+		if s.bugs().Enabled(faults.Bug11WriteFlushRace) {
+			// Seeded bug #11: no validation retry; a stale locator's data is
+			// returned (or failed) as-is.
+			s.cfg.Coverage.Hit("store.bug11.no_retry")
+			break
+		}
+		s.cfg.Coverage.Hit("store.get.retry")
+		vsync.Yield()
+	}
+	return nil, fmt.Errorf("store: shard %q: %w", shardID, lastErr)
+}
+
+// readChunks fetches and validates the shard's chunks, invalidating the
+// cache entries of mismatching locators so a retry re-reads from disk.
+func (s *Store) readChunks(shardID string, locs []chunk.Locator) ([]byte, error) {
+	var data []byte
+	for _, loc := range locs {
+		payload, owner, err := s.cs.GetWithKey(loc)
+		if err != nil {
+			s.cs.InvalidateCached(loc)
+			return nil, err
+		}
+		if owner != shardID && !s.bugs().Enabled(faults.Bug11WriteFlushRace) {
+			s.cs.InvalidateCached(loc)
+			s.cfg.Coverage.Hit("store.get.key_mismatch")
+			return nil, fmt.Errorf("store: locator %v owned by %q, want %q", loc, owner, shardID)
+		}
+		data = append(data, payload...)
+	}
+	if data == nil {
+		data = []byte{}
+	}
+	return data, nil
+}
+
+// Delete removes shardID; its chunks become garbage for reclamation.
+// Deleting an absent shard is not an error (it is idempotent).
+func (s *Store) Delete(shardID string) (*dep.Dependency, error) {
+	if err := s.requireInService(); err != nil {
+		return nil, err
+	}
+	d, err := s.idx.Delete(shardID)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.catalogRemoveLocked(shardID)
+	s.mu.Unlock()
+	s.cfg.Coverage.Hit("store.delete")
+	return d, nil
+}
+
+func (s *Store) requireInService() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inService {
+		return ErrOutOfService
+	}
+	return nil
+}
+
+// --- catalog (control plane view) ---
+
+func (s *Store) catalogInsertLocked(id string) {
+	i := sort.SearchStrings(s.catalog, id)
+	if i < len(s.catalog) && s.catalog[i] == id {
+		return
+	}
+	s.catalog = append(s.catalog, "")
+	copy(s.catalog[i+1:], s.catalog[i:])
+	s.catalog[i] = id
+}
+
+func (s *Store) catalogRemoveLocked(id string) {
+	i := sort.SearchStrings(s.catalog, id)
+	if i < len(s.catalog) && s.catalog[i] == id {
+		s.catalog = append(s.catalog[:i], s.catalog[i+1:]...)
+	}
+}
+
+// Keys returns the live shard ids directly from the index (bypassing the
+// control-plane catalog); used by conformance invariant checks.
+func (s *Store) Keys() ([]string, error) {
+	return s.idx.Keys()
+}
+
+// --- background maintenance (explicit so harnesses control scheduling) ---
+
+// FlushIndex flushes the LSM memtable (the IndexFlush op of §5).
+func (s *Store) FlushIndex() (*dep.Dependency, error) { return s.idx.Flush() }
+
+// CompactIndex merges the LSM runs.
+func (s *Store) CompactIndex() error { return s.idx.Compact() }
+
+// FlushSuperblock writes a superblock record with the staged pointers.
+func (s *Store) FlushSuperblock() (*dep.Dependency, error) { return s.em.Flush() }
+
+// Reclaim garbage-collects one extent.
+func (s *Store) Reclaim(ext disk.ExtentID) error {
+	err := s.cs.Reclaim(ext)
+	if err == nil {
+		s.cfg.Coverage.Hit("store.reclaim")
+	}
+	return err
+}
+
+// ReclaimAuto garbage-collects the first eligible extent.
+func (s *Store) ReclaimAuto() (bool, error) { return s.cs.ReclaimAuto() }
+
+// SchedStep issues one round of issuable writebacks without syncing.
+func (s *Store) SchedStep() int { return s.sched.Step() }
+
+// SchedSync flushes the disk write cache.
+func (s *Store) SchedSync() error { return s.sched.Sync() }
+
+// Pump drives the IO scheduler to quiescence (flushing the index and
+// superblock first so futures are bound).
+func (s *Store) Pump() error {
+	if _, err := s.idx.Flush(); err != nil {
+		return err
+	}
+	if _, err := s.em.Flush(); err != nil {
+		return err
+	}
+	return s.sched.Pump()
+}
+
+// DrainCache empties the buffer cache (a harness op for reaching the
+// cache-miss path; §8.3).
+func (s *Store) DrainCache() { s.cs.Cache().DrainAll() }

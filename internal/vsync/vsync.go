@@ -1,0 +1,239 @@
+// Package vsync is a pluggable synchronization layer.
+//
+// The ShardStore implementation packages use vsync.Mutex, vsync.RWMutex,
+// vsync.Cond, and vsync.Go instead of their sync/runtime equivalents. In
+// normal operation these delegate directly to the standard library with no
+// measurable overhead. When a stateless model-checking run is active
+// (internal/shuttle), every operation instead routes through the shuttle
+// scheduler, which serializes execution and controls the interleaving of the
+// virtual threads — the same instrumentation trick Loom and Shuttle use for
+// Rust (§6 of the paper).
+//
+// The runtime is installed process-globally. Model-checking tests therefore
+// must not run concurrently with each other, which Go's default sequential
+// test execution guarantees as long as such tests avoid t.Parallel.
+package vsync
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime is implemented by the shuttle scheduler. All methods are invoked
+// from the single virtual thread the scheduler is currently running.
+type Runtime interface {
+	// MutexLock blocks the calling virtual thread until it holds m.
+	MutexLock(m *Mutex)
+	// MutexTryLock attempts to acquire m without blocking.
+	MutexTryLock(m *Mutex) bool
+	// MutexUnlock releases m.
+	MutexUnlock(m *Mutex)
+	// RLock acquires m for reading.
+	RLock(m *RWMutex)
+	// RUnlock releases a read acquisition of m.
+	RUnlock(m *RWMutex)
+	// WLock acquires m for writing.
+	WLock(m *RWMutex)
+	// WUnlock releases a write acquisition of m.
+	WUnlock(m *RWMutex)
+	// CondWait atomically releases c.L and blocks until signalled.
+	CondWait(c *Cond)
+	// CondSignal wakes one waiter on c.
+	CondSignal(c *Cond)
+	// CondBroadcast wakes all waiters on c.
+	CondBroadcast(c *Cond)
+	// Spawn starts f as a new virtual thread and returns a join handle.
+	Spawn(name string, f func()) Handle
+	// Yield introduces a scheduling point.
+	Yield()
+}
+
+// Handle joins a spawned virtual thread (or goroutine in passthrough mode).
+type Handle interface {
+	// Join blocks until the thread has finished.
+	Join()
+}
+
+var active atomic.Pointer[runtimeBox]
+
+type runtimeBox struct{ rt Runtime }
+
+// SetRuntime installs rt as the process-global scheduler. Passing nil
+// restores standard-library behavior. It returns the previously installed
+// runtime, if any.
+func SetRuntime(rt Runtime) Runtime {
+	var prev *runtimeBox
+	if rt == nil {
+		prev = active.Swap(nil)
+	} else {
+		prev = active.Swap(&runtimeBox{rt: rt})
+	}
+	if prev == nil {
+		return nil
+	}
+	return prev.rt
+}
+
+// CurrentRuntime returns the installed runtime, or nil in passthrough mode.
+func CurrentRuntime() Runtime {
+	box := active.Load()
+	if box == nil {
+		return nil
+	}
+	return box.rt
+}
+
+// Mutex is a mutual exclusion lock that is model-checkable. The zero value is
+// an unlocked mutex.
+type Mutex struct {
+	mu sync.Mutex
+	// State owned by the shuttle runtime while a run is active.
+	Sched any
+}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.MutexLock(m)
+		return
+	}
+	m.mu.Lock()
+}
+
+// TryLock attempts to acquire the mutex and reports whether it succeeded.
+func (m *Mutex) TryLock() bool {
+	if rt := CurrentRuntime(); rt != nil {
+		return rt.MutexTryLock(m)
+	}
+	return m.mu.TryLock()
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.MutexUnlock(m)
+		return
+	}
+	m.mu.Unlock()
+}
+
+// RWMutex is a reader/writer lock that is model-checkable. The zero value is
+// an unlocked RWMutex.
+type RWMutex struct {
+	mu sync.RWMutex
+	// State owned by the shuttle runtime while a run is active.
+	Sched any
+}
+
+// Lock acquires the write lock.
+func (m *RWMutex) Lock() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.WLock(m)
+		return
+	}
+	m.mu.Lock()
+}
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.WUnlock(m)
+		return
+	}
+	m.mu.Unlock()
+}
+
+// RLock acquires the read lock.
+func (m *RWMutex) RLock() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.RLock(m)
+		return
+	}
+	m.mu.RLock()
+}
+
+// RUnlock releases the read lock.
+func (m *RWMutex) RUnlock() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.RUnlock(m)
+		return
+	}
+	m.mu.RUnlock()
+}
+
+// Cond is a model-checkable condition variable bound to a Mutex.
+type Cond struct {
+	// L is the mutex held while waiting.
+	L *Mutex
+	// State owned by the shuttle runtime while a run is active.
+	Sched any
+
+	once sync.Once
+	cond *sync.Cond
+}
+
+// NewCond returns a condition variable bound to l.
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
+func (c *Cond) std() *sync.Cond {
+	c.once.Do(func() { c.cond = sync.NewCond(&c.L.mu) })
+	return c.cond
+}
+
+// Wait atomically releases c.L and suspends the caller until Signal or
+// Broadcast wakes it, then reacquires c.L before returning.
+func (c *Cond) Wait() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.CondWait(c)
+		return
+	}
+	c.std().Wait()
+}
+
+// Signal wakes one goroutine waiting on c, if there is any.
+func (c *Cond) Signal() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.CondSignal(c)
+		return
+	}
+	c.std().Signal()
+}
+
+// Broadcast wakes all goroutines waiting on c.
+func (c *Cond) Broadcast() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.CondBroadcast(c)
+		return
+	}
+	c.std().Broadcast()
+}
+
+// goHandle joins a plain goroutine in passthrough mode.
+type goHandle struct{ done chan struct{} }
+
+func (h *goHandle) Join() { <-h.done }
+
+// Go starts f concurrently — as a goroutine in passthrough mode, or as a
+// scheduler-controlled virtual thread during model checking — and returns a
+// handle that joins it. name labels the thread in model-checker reports.
+func Go(name string, f func()) Handle {
+	if rt := CurrentRuntime(); rt != nil {
+		return rt.Spawn(name, f)
+	}
+	h := &goHandle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		f()
+	}()
+	return h
+}
+
+// Yield introduces a scheduling point during model checking and is a no-op
+// otherwise. Implementation code sprinkles Yield at interesting non-locking
+// steps (e.g. between computing a value and publishing it) to expose more
+// interleavings to the checker.
+func Yield() {
+	if rt := CurrentRuntime(); rt != nil {
+		rt.Yield()
+	}
+}

@@ -1,0 +1,94 @@
+package vsync
+
+import (
+	"sync"
+	"testing"
+)
+
+// Passthrough-mode tests: with no runtime installed, vsync must behave
+// exactly like the standard library.
+
+func TestMutexPassthrough(t *testing.T) {
+	var mu Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mu.Lock()
+				n++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 8000 {
+		t.Fatalf("lost updates: %d", n)
+	}
+}
+
+func TestTryLockPassthrough(t *testing.T) {
+	var mu Mutex
+	if !mu.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if mu.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	mu.Unlock()
+}
+
+func TestRWMutexPassthrough(t *testing.T) {
+	var rw RWMutex
+	rw.RLock()
+	rw.RLock()
+	rw.RUnlock()
+	rw.RUnlock()
+	rw.Lock()
+	rw.Unlock()
+}
+
+func TestCondPassthrough(t *testing.T) {
+	var mu Mutex
+	c := NewCond(&mu)
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		for !ready {
+			c.Wait()
+		}
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	ready = true
+	c.Broadcast()
+	mu.Unlock()
+	<-done
+}
+
+func TestGoAndJoinPassthrough(t *testing.T) {
+	ran := false
+	h := Go("worker", func() { ran = true })
+	h.Join()
+	if !ran {
+		t.Fatal("goroutine did not run before Join returned")
+	}
+}
+
+func TestYieldPassthroughIsNoOp(t *testing.T) {
+	Yield() // must not panic or block
+}
+
+func TestSetRuntimeSwap(t *testing.T) {
+	if CurrentRuntime() != nil {
+		t.Fatal("runtime installed at test start")
+	}
+	prev := SetRuntime(nil)
+	if prev != nil {
+		t.Fatal("prev should be nil")
+	}
+}

@@ -7,6 +7,11 @@
 //	experiments -run fig5        # one experiment
 //	experiments -quick           # reduced budgets (CI-sized)
 //	experiments -list            # list available experiments
+//	experiments -workers 4       # pool width for PBT grids (0 = one per CPU)
+//
+// Detection results are deterministic at any -workers value (same seed ⇒
+// same table); only wall-clock columns change. Shuttle-based model-checking
+// experiments always run sequentially regardless of -workers.
 package main
 
 import (
@@ -22,7 +27,9 @@ func main() {
 	runName := flag.String("run", "", "run a single experiment by name (default: all)")
 	quick := flag.Bool("quick", false, "reduced budgets")
 	list := flag.Bool("list", false, "list experiments")
+	workers := flag.Int("workers", 0, "worker-pool width for PBT experiments (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
+	experiments.Workers = *workers
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,7 +1,9 @@
 // Command shardstore runs a storage node: one key-value store per simulated
 // disk behind the shared RPC interface (§2.1 of the paper), with background
 // maintenance (index flush, compaction, chunk reclamation, superblock flush)
-// on timers. A small client mode exercises a running node.
+// on timers. A small client mode exercises a running node, and a check mode
+// runs the §4 conformance harness against this build — the paper's
+// "run the checks before every deployment" workflow.
 //
 // Server:
 //
@@ -14,6 +16,16 @@
 //	shardstore -connect 127.0.0.1:7420 del  shard-1
 //	shardstore -connect 127.0.0.1:7420 list
 //	shardstore -connect 127.0.0.1:7420 stats
+//
+// Check (exit status 1 if a violation is found):
+//
+//	shardstore -check -cases 5000 -seed 7 -parallel 0
+//
+// -parallel picks the worker-pool width (0 = one worker per CPU, 1 =
+// sequential). The verdict is deterministic: the same -seed and -cases
+// produce the same result — including the failing case index and its
+// minimized counterexample — at any -parallel value; only wall-clock time
+// changes.
 package main
 
 import (
@@ -21,9 +33,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"shardstore/internal/core"
 	"shardstore/internal/rpc"
 	"shardstore/internal/store"
 )
@@ -33,17 +47,69 @@ func main() {
 	connect := flag.String("connect", "", "client mode: connect to this address")
 	disks := flag.Int("disks", 4, "number of simulated disks (server mode)")
 	maintenance := flag.Duration("maintenance", 250*time.Millisecond, "background maintenance interval")
+	check := flag.Bool("check", false, "run the conformance check against this build and exit")
+	cases := flag.Int("cases", 2000, "check mode: number of random op sequences")
+	ops := flag.Int("ops", 40, "check mode: operations per sequence")
+	seed := flag.Int64("seed", 1, "check mode: root seed (same seed+cases => same result)")
+	parallel := flag.Int("parallel", 0, "check mode: worker-pool width (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	switch {
+	case *check:
+		runCheck(*cases, *ops, *seed, *parallel)
 	case *listen != "":
 		runServer(*listen, *disks, *maintenance)
 	case *connect != "":
 		runClient(*connect, flag.Args())
 	default:
-		fmt.Fprintln(os.Stderr, "need -listen (server) or -connect (client); see -help")
+		fmt.Fprintln(os.Stderr, "need -listen (server), -connect (client), or -check; see -help")
 		os.Exit(2)
 	}
+}
+
+// runCheck is the node's deployment gate: the full §4/§5 conformance
+// harness (crashes, reboots, fault injection, control plane) on the worker
+// pool, with the first failure minimized into a replayable counterexample.
+func runCheck(cases, ops int, seed int64, parallel int) {
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cases <= 0 {
+		cases = 200 // mirror core.Config's default so the banner matches the run
+	}
+	fmt.Printf("shardstore: conformance check, %d sequences x %d ops, seed %d, %d workers\n",
+		cases, ops, seed, workers)
+	cfg := core.Config{
+		Seed:               seed,
+		Cases:              cases,
+		OpsPerCase:         ops,
+		Bias:               core.DefaultBias(),
+		EnableCrashes:      true,
+		EnableReboots:      true,
+		EnableFailures:     true,
+		EnableControlPlane: true,
+		Minimize:           true,
+		Workers:            parallel,
+	}
+	start := time.Now()
+	res := core.Run(cfg)
+	elapsed := time.Since(start)
+	fmt.Printf("shardstore: %d sequences, %d operations, %d crash states in %s (%.0f cases/sec)\n",
+		res.Cases, res.Ops, res.Crashes, elapsed.Round(time.Millisecond),
+		float64(res.Cases)/elapsed.Seconds())
+	if res.Failure == nil {
+		fmt.Println("shardstore: no violations")
+		return
+	}
+	f := res.Failure
+	fmt.Printf("shardstore: VIOLATION at case %d (seed %d): %v\n", f.Case, f.Seed, f.Err)
+	fmt.Printf("shardstore: minimized to %d ops (from %d):\n", len(f.Minimized), len(f.Seq))
+	for i, op := range f.Minimized {
+		fmt.Printf("  %2d. %s\n", i, op)
+	}
+	fmt.Printf("shardstore: minimized violation: %v\n", f.MinimizedErr)
+	os.Exit(1)
 }
 
 func runServer(addr string, disks int, maintenance time.Duration) {

@@ -1,21 +1,26 @@
 // Conformance: the paper's core workflow (§4). Run property-based
 // conformance checking of the whole storage node against its crash-extended
-// reference model, then seed one of the production bugs from Fig 5 and watch
-// the same harness find and minimize it.
+// reference model — fanned out across one worker per CPU, with the same
+// deterministic verdict a sequential run would produce — then seed one of
+// the production bugs from Fig 5 and watch the same harness find and
+// minimize it.
 //
 //	go run ./examples/conformance
 package main
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"shardstore/internal/core"
 	"shardstore/internal/faults"
 )
 
 func main() {
-	fmt.Println("1) clean run: random op sequences with crashes, reboots, and IO")
-	fmt.Println("   fault injection, checked against the reference model ...")
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("1) clean run: random op sequences with crashes, reboots, and IO\n")
+	fmt.Printf("   fault injection, checked against the reference model on %d worker(s) ...\n", workers)
 	cfg := core.Config{
 		Seed:               7,
 		Cases:              500,
@@ -27,26 +32,36 @@ func main() {
 		EnableControlPlane: true,
 		Minimize:           true,
 	}
+	start := time.Now()
 	res := core.Run(cfg)
-	fmt.Printf("   %d sequences, %d operations, %d crashes: ", res.Cases, res.Ops, res.Crashes)
+	elapsed := time.Since(start)
+	fmt.Printf("   %d sequences, %d operations, %d crashes in %s (%.0f cases/sec): ",
+		res.Cases, res.Ops, res.Crashes, elapsed.Round(time.Millisecond),
+		float64(res.Cases)/elapsed.Seconds())
 	if res.Failure == nil {
 		fmt.Println("no violations")
 	} else {
 		fmt.Printf("UNEXPECTED violation: %v\n", res.Failure.Err)
 		return
 	}
+	fmt.Println("   (same seed + same case count => same verdict at any worker count;")
+	fmt.Println("    rerun with GOMAXPROCS=1 to see identical results, only slower)")
 
 	fmt.Println()
 	fmt.Println("2) seed bug #9 from the paper's Fig 5 (reference model mishandles")
 	fmt.Println("   crashes during reclamation) and hunt it with the same harness ...")
+	start = time.Now()
 	det := core.DetectSequential(faults.Bug9RefModelCrashReclaim, 7, 10000)
+	huntElapsed := time.Since(start)
 	if !det.Detected {
 		fmt.Println("   not detected (try a larger budget)")
 		return
 	}
 	orig := core.StatsOf(det.Failure.Seq)
 	min := core.StatsOf(det.Failure.Minimized)
-	fmt.Printf("   detected after %d sequences\n", det.CasesNeeded)
+	fmt.Printf("   detected after %d sequences in %s (%.0f cases/sec incl. minimization)\n",
+		det.CasesNeeded, huntElapsed.Round(time.Millisecond),
+		float64(det.CasesNeeded)/huntElapsed.Seconds())
 	fmt.Printf("   original failing sequence: %d ops, %d crashes, %d bytes written\n",
 		orig.Ops, orig.Crashes, orig.BytesWritten)
 	fmt.Printf("   after automatic minimization: %d ops, %d crashes, %d bytes\n",

@@ -10,6 +10,9 @@ import (
 // TestConcurrencyHarnessesCleanBaseline: with all faults fixed, no harness
 // may fail under any strategy — otherwise the detections below are noise.
 func TestConcurrencyHarnessesCleanBaseline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("shuttle exploration skipped under -race: its goroutine-handoff scheduler is ~10x slower with the detector and runs one goroutine at a time by construction")
+	}
 	harnesses := map[string]func(*faults.Set) func(){
 		"fig4":  Fig4Harness,
 		"bug11": Bug11Harness,
@@ -39,6 +42,9 @@ func TestConcurrencyHarnessesCleanBaseline(t *testing.T) {
 // TestDetectConcurrencyBugs: each seeded concurrency bug (Fig 5 #11–#16)
 // must be found by stateless model checking.
 func TestDetectConcurrencyBugs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("shuttle exploration skipped under -race; see TestConcurrencyHarnessesCleanBaseline")
+	}
 	bugs := []struct {
 		bug        faults.Bug
 		iterations int

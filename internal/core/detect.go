@@ -129,9 +129,20 @@ type DetectionResult struct {
 // DetectSequential hunts a PBT-detectable bug (Fig 5 classes: functional
 // correctness and crash consistency) for up to maxCases random sequences.
 // Concurrency bugs (#11–#16) are hunted by the shuttle harnesses instead.
+// The hunt fans out across the default worker pool (one worker per CPU);
+// use DetectSequentialN to pick the pool width explicitly.
 func DetectSequential(b faults.Bug, seed int64, maxCases int) DetectionResult {
+	return DetectSequentialN(b, seed, maxCases, 0)
+}
+
+// DetectSequentialN is DetectSequential with an explicit pool width:
+// 0 = one worker per CPU, 1 = strictly sequential. The result is the same
+// at any width; grid runners that already parallelize across bugs pass 1 to
+// avoid oversubscribing the machine.
+func DetectSequentialN(b faults.Bug, seed int64, maxCases, workers int) DetectionResult {
 	cfg := DetectionConfig(b, seed)
 	cfg.Cases = maxCases
+	cfg.Workers = workers
 	res := Run(cfg)
 	out := DetectionResult{Bug: b, Checker: CheckerFor(b), Ops: res.Ops}
 	if res.Failure != nil {

@@ -34,6 +34,9 @@ func TestDetectSeededBugs(t *testing.T) {
 			if testing.Short() && tc.maxCases > 10000 {
 				t.Skip("long detection run")
 			}
+			if raceEnabled && tc.maxCases > 2000 {
+				t.Skip("heavy detection run skipped under -race; the pool's race coverage lives in parallel_test.go")
+			}
 			res := DetectSequential(tc.bug, 1234, tc.maxCases)
 			if !res.Detected {
 				t.Fatalf("%v (%s) not detected by %v within %d cases",

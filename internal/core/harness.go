@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -50,6 +51,11 @@ type Config struct {
 	// InvariantEvery checks full model/implementation equivalence every N
 	// ops (default 4; 1 = after every op as in Fig 3).
 	InvariantEvery int
+	// Workers is the number of pool workers cases fan out across (see
+	// pool.go); 0 means one per CPU (runtime.GOMAXPROCS). Results are
+	// bit-identical at any worker count: same seed + same case count ⇒ same
+	// Result. Use 1 to force sequential execution.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,25 +113,47 @@ type Result struct {
 }
 
 // Run executes the conformance check: Cases random sequences, each applied
-// in lockstep to a fresh store and reference model. The first failure is
-// minimized and returned; nil Failure means every case passed (which, as §8.3
-// reminds us, "does not mean the code is correct, only that the checker
-// could not find a bug").
+// in lockstep to a fresh store and reference model. Cases fan out across
+// cfg.Workers pool workers (default: one per CPU); because every case builds
+// its own disk+store and derives its RNG from the root seed and case index,
+// the Result — pass/fail, failing case index, minimized sequence, and
+// coverage totals — is bit-identical at any worker count. The first (i.e.
+// lowest-index) failure is minimized and returned; nil Failure means every
+// case passed (which, as §8.3 reminds us, "does not mean the code is
+// correct, only that the checker could not find a bug").
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
+	shared := cfg.StoreConfig.Coverage
+	outcomes := runPool(cfg.Workers, cfg.Cases, func(ctx context.Context, i int) caseOutcome {
+		// Each case records coverage into a private registry; the merge loop
+		// below folds in exactly the cases a sequential run would have
+		// executed, keeping totals independent of worker count.
+		ccfg := cfg
+		ccfg.StoreConfig.Coverage = coverage.NewRegistry()
+		if ccfg.StoreConfig.Disk.Coverage == shared {
+			ccfg.StoreConfig.Disk.Coverage = ccfg.StoreConfig.Coverage
+		}
+		r := rand.New(rand.NewSource(prop.CaseSeed(cfg.Seed, i)))
+		seq := GenerateSeq(r, ccfg)
+		ops, crashes, err := RunSeqCtx(ctx, seq, ccfg)
+		return caseOutcome{ops: ops, crashes: crashes, cov: ccfg.StoreConfig.Coverage, err: err}
+	})
+
 	res := Result{}
-	for i := 0; i < cfg.Cases; i++ {
-		seed := prop.CaseSeed(cfg.Seed, i)
-		r := rand.New(rand.NewSource(seed))
-		seq := GenerateSeq(r, cfg)
-		ops, crashes, err := RunSeq(seq, cfg)
+	for i, out := range outcomes {
 		res.Cases++
-		res.Ops += int64(ops)
-		res.Crashes += int64(crashes)
-		if err == nil {
+		res.Ops += int64(out.ops)
+		res.Crashes += int64(out.crashes)
+		shared.Merge(out.cov)
+		if out.err == nil {
 			continue
 		}
-		f := &Failure{Case: i, Seed: seed, Seq: seq, Minimized: seq, Err: err, MinimizedErr: err}
+		// The failing case is by construction the last (and lowest-index)
+		// outcome; regenerate its sequence from the root seed and minimize it
+		// sequentially, exactly as the sequential loop did.
+		seed := prop.CaseSeed(cfg.Seed, i)
+		seq := GenerateSeq(rand.New(rand.NewSource(seed)), cfg)
+		f := &Failure{Case: i, Seed: seed, Seq: seq, Minimized: seq, Err: out.err, MinimizedErr: out.err}
 		if cfg.Minimize {
 			fails := func(cand []Op) bool {
 				_, _, cerr := RunSeq(cand, cfg)
@@ -137,7 +165,6 @@ func Run(cfg Config) Result {
 			}
 		}
 		res.Failure = f
-		return res
 	}
 	return res
 }
@@ -169,6 +196,15 @@ func (es *execState) outstanding() uint64 {
 // RunSeq applies one operation sequence and returns (ops applied, crashes
 // taken, first violation).
 func RunSeq(seq []Op, cfg Config) (int, int, error) {
+	return RunSeqCtx(context.Background(), seq, cfg)
+}
+
+// RunSeqCtx is RunSeq with cooperative cancellation: the sequence is
+// abandoned between operations once ctx is done, returning an error that
+// wraps both errCaseCancelled and the context's cause. The parallel pool
+// uses this for early exit — once a lower-index case has failed, in-flight
+// higher-index cases cannot affect the Result and are cut short.
+func RunSeqCtx(ctx context.Context, seq []Op, cfg Config) (int, int, error) {
 	cfg = cfg.withDefaults()
 	st, d, err := store.New(cfg.StoreConfig)
 	if err != nil {
@@ -176,6 +212,9 @@ func RunSeq(seq []Op, cfg Config) (int, int, error) {
 	}
 	es := &execState{cfg: cfg, d: d, st: st, ref: model.NewRefStore(cfg.StoreConfig.Bugs), inService: true}
 	for i, op := range seq {
+		if cerr := ctx.Err(); cerr != nil {
+			return es.opsRun, es.crashes, fmt.Errorf("%w: %w", errCaseCancelled, cerr)
+		}
 		if err := es.apply(op); err != nil {
 			return es.opsRun, es.crashes, fmt.Errorf("op %d %s: %w", i, op, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -93,6 +94,9 @@ type IndexConfig struct {
 	Bugs       *faults.Set
 	Coverage   *coverage.Registry
 	Minimize   bool
+	// Workers is the number of pool workers cases fan out across; 0 means
+	// one per CPU. Results are bit-identical at any worker count.
+	Workers int
 }
 
 func (c IndexConfig) withDefaults() IndexConfig {
@@ -246,6 +250,12 @@ func GenerateIndexSeq(r *rand.Rand, cfg IndexConfig) []IndexOp {
 // reference index (Fig 3's proptest body), comparing results per operation
 // and checking the full key-value mapping invariant after each.
 func RunIndexSeq(seq []IndexOp, cfg IndexConfig) (int, error) {
+	return RunIndexSeqCtx(context.Background(), seq, cfg)
+}
+
+// RunIndexSeqCtx is RunIndexSeq with cooperative cancellation between
+// operations; see RunSeqCtx.
+func RunIndexSeqCtx(ctx context.Context, seq []IndexOp, cfg IndexConfig) (int, error) {
 	cfg = cfg.withDefaults()
 	impl, err := newIndexSUT(cfg)
 	if err != nil {
@@ -253,6 +263,9 @@ func RunIndexSeq(seq []IndexOp, cfg IndexConfig) (int, error) {
 	}
 	ref := model.NewRefIndex()
 	for i, op := range seq {
+		if cerr := ctx.Err(); cerr != nil {
+			return i, fmt.Errorf("%w: %w", errCaseCancelled, cerr)
+		}
 		if err := applyIndexOp(impl, ref, op); err != nil {
 			return i, fmt.Errorf("op %d %s: %w", i, op, err)
 		}
@@ -357,22 +370,33 @@ func ShrinkIndexOp(op IndexOp) []IndexOp {
 	return out
 }
 
-// RunIndexConformance is the Fig 3 entry point: Cases random sequences, the
-// first failure minimized.
+// RunIndexConformance is the Fig 3 entry point: Cases random sequences on
+// the worker pool (cfg.Workers; 0 = one per CPU), the first — lowest-index —
+// failure minimized. As with Run, the IndexResult is bit-identical at any
+// worker count.
 func RunIndexConformance(cfg IndexConfig) IndexResult {
 	cfg = cfg.withDefaults()
+	shared := cfg.Coverage
+	outcomes := runPool(cfg.Workers, cfg.Cases, func(ctx context.Context, i int) caseOutcome {
+		ccfg := cfg
+		ccfg.Coverage = coverage.NewRegistry()
+		r := rand.New(rand.NewSource(prop.CaseSeed(cfg.Seed, i)))
+		seq := GenerateIndexSeq(r, ccfg)
+		n, err := RunIndexSeqCtx(ctx, seq, ccfg)
+		return caseOutcome{ops: n, cov: ccfg.Coverage, err: err}
+	})
+
 	res := IndexResult{}
-	for i := 0; i < cfg.Cases; i++ {
-		seed := prop.CaseSeed(cfg.Seed, i)
-		r := rand.New(rand.NewSource(seed))
-		seq := GenerateIndexSeq(r, cfg)
-		n, err := RunIndexSeq(seq, cfg)
+	for i, out := range outcomes {
 		res.Cases++
-		res.Ops += int64(n)
-		if err == nil {
+		res.Ops += int64(out.ops)
+		shared.Merge(out.cov)
+		if out.err == nil {
 			continue
 		}
-		f := &IndexFailure{Case: i, Seed: seed, Seq: seq, Minimized: seq, Err: err}
+		seed := prop.CaseSeed(cfg.Seed, i)
+		seq := GenerateIndexSeq(rand.New(rand.NewSource(seed)), cfg)
+		f := &IndexFailure{Case: i, Seed: seed, Seq: seq, Minimized: seq, Err: out.err}
 		if cfg.Minimize {
 			fails := func(cand []IndexOp) bool {
 				_, cerr := RunIndexSeq(cand, cfg)
@@ -381,7 +405,6 @@ func RunIndexConformance(cfg IndexConfig) IndexResult {
 			f.Minimized = prop.MinimizeSeq(seq, fails, ShrinkIndexOp, 2000)
 		}
 		res.Failure = f
-		return res
 	}
 	return res
 }

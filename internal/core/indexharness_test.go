@@ -22,6 +22,9 @@ func TestIndexConformanceClean(t *testing.T) {
 // catches the shutdown metadata skip at the index level, just as the paper's
 // Fig 3 alphabet includes Reboot for exactly this purpose.
 func TestIndexConformanceDetectsBug3(t *testing.T) {
+	if raceEnabled {
+		t.Skip("2000-case hunt skipped under -race; covered by the non-race suite")
+	}
 	res := RunIndexConformance(IndexConfig{
 		Seed: 5, Cases: 2000, OpsPerCase: 30, Bias: DefaultBias(),
 		Bugs: faults.NewSet(faults.Bug3ShutdownMetadataSkip), Minimize: true,
@@ -37,6 +40,9 @@ func TestIndexConformanceDetectsBug3(t *testing.T) {
 // reclamation off-by-one at the index level too (index runs land on page
 // boundaries).
 func TestIndexConformanceDetectsBug2(t *testing.T) {
+	if raceEnabled {
+		t.Skip("4000-case hunt skipped under -race; covered by the non-race suite")
+	}
 	res := RunIndexConformance(IndexConfig{
 		Seed: 9, Cases: 4000, OpsPerCase: 40, Bias: DefaultBias(),
 		Bugs: faults.NewSet(faults.Bug2CacheNotDrained), Minimize: true,

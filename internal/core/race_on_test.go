@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The long deterministic bug-hunt suites scale their budgets down
+// (or skip) under -race: the race detector's value here is in the
+// worker-pool and coverage-registry concurrency paths (parallel_test.go and
+// the coverage hammer), not in replaying tens of thousands of sequential
+// cases 10x slower. Mirrors the existing testing.Short() gating.
+const raceEnabled = true

@@ -11,6 +11,9 @@ import (
 // Small-geometry clean baseline: same config as the bug6/bug10 hunts but with
 // every fault disabled. Must be clean or those detections are meaningless.
 func TestSmallGeometryBaseline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("4000-case baseline skipped under -race; covered by the non-race suite")
+	}
 	cfg := Config{
 		Seed: 1234, Cases: 4000, OpsPerCase: 60,
 		Bias:          Bias{KeyReuse: 0.8, PageSizeValues: 0.6, ConstantValueBytes: 0.5, ZeroValues: 0.5, UUIDZeroBias: 0.6},

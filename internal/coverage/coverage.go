@@ -8,6 +8,11 @@
 // instrument interesting implementation sites with named probes. A harness
 // resets the registry, runs its workload, and then inspects which probes were
 // hit and how often.
+//
+// Registries are safe for concurrent use: the parallel conformance pool
+// (internal/core) hammers probes from many worker goroutines at once, so
+// counters are lock-free atomics and per-case registries can be combined
+// with Merge.
 package coverage
 
 import (
@@ -15,17 +20,45 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry accumulates named hit counters. The zero value is ready to use.
+// All methods are safe for concurrent use; Hit is lock-free on the fast path
+// (an existing probe is a sync.Map load plus an atomic add).
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]uint64
+	// probes maps probe name -> *atomic.Uint64. It is held behind an atomic
+	// pointer so Reset can swap in a fresh map without racing in-flight Hits
+	// (a Hit racing a Reset lands in exactly one of the two generations,
+	// which is the same guarantee a locked map would give).
+	probes atomic.Pointer[sync.Map]
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counts: make(map[string]uint64)}
+	return &Registry{}
+}
+
+// current returns the live probe map, creating it on first use.
+func (r *Registry) current() *sync.Map {
+	if m := r.probes.Load(); m != nil {
+		return m
+	}
+	m := &sync.Map{}
+	if r.probes.CompareAndSwap(nil, m) {
+		return m
+	}
+	return r.probes.Load()
+}
+
+// counter returns the hit counter for name, creating it if needed.
+func (r *Registry) counter(name string) *atomic.Uint64 {
+	m := r.current()
+	if v, ok := m.Load(name); ok {
+		return v.(*atomic.Uint64)
+	}
+	v, _ := m.LoadOrStore(name, new(atomic.Uint64))
+	return v.(*atomic.Uint64)
 }
 
 // Hit increments the counter for probe name. A nil registry discards hits, so
@@ -34,12 +67,15 @@ func (r *Registry) Hit(name string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	if r.counts == nil {
-		r.counts = make(map[string]uint64)
+	r.counter(name).Add(1)
+}
+
+// Add increments the counter for probe name by n.
+func (r *Registry) Add(name string, n uint64) {
+	if r == nil || n == 0 {
+		return
 	}
-	r.counts[name]++
-	r.mu.Unlock()
+	r.counter(name).Add(n)
 }
 
 // Count returns the number of times probe name was hit.
@@ -47,9 +83,15 @@ func (r *Registry) Count(name string) uint64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counts[name]
+	m := r.probes.Load()
+	if m == nil {
+		return 0
+	}
+	v, ok := m.Load(name)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Uint64).Load()
 }
 
 // Covered reports whether probe name was hit at least once.
@@ -60,9 +102,28 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.counts = make(map[string]uint64)
-	r.mu.Unlock()
+	r.probes.Store(&sync.Map{})
+}
+
+// Merge adds every counter of other into r. The parallel conformance pool
+// gives each test case a private registry and merges the per-case counts
+// into the run's shared registry afterwards, so coverage totals are
+// independent of worker count and scheduling. Merging a registry into itself
+// is a no-op rather than a doubling.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil || r == other {
+		return
+	}
+	m := other.probes.Load()
+	if m == nil {
+		return
+	}
+	m.Range(func(k, v any) bool {
+		if n := v.(*atomic.Uint64).Load(); n > 0 {
+			r.counter(k.(string)).Add(n)
+		}
+		return true
+	})
 }
 
 // Snapshot returns a copy of all counters.
@@ -70,12 +131,17 @@ func (r *Registry) Snapshot() map[string]uint64 {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]uint64, len(r.counts))
-	for k, v := range r.counts {
-		out[k] = v
+	m := r.probes.Load()
+	if m == nil {
+		return nil
 	}
+	out := make(map[string]uint64)
+	m.Range(func(k, v any) bool {
+		if n := v.(*atomic.Uint64).Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
 	return out
 }
 

@@ -89,3 +89,104 @@ func TestConcurrentHits(t *testing.T) {
 		t.Fatalf("lost hits: %d", r.Count("contended"))
 	}
 }
+
+func TestMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Hit("shared")
+	a.Hit("only-a")
+	b.Hit("shared")
+	b.Hit("shared")
+	b.Hit("only-b")
+	a.Merge(b)
+	if a.Count("shared") != 3 || a.Count("only-a") != 1 || a.Count("only-b") != 1 {
+		t.Fatalf("merge: %v", a.Snapshot())
+	}
+	// Merging must not mutate the source.
+	if b.Count("shared") != 2 || b.Count("only-a") != 0 {
+		t.Fatalf("merge mutated source: %v", b.Snapshot())
+	}
+	// Self-merge and nil cases are no-ops.
+	a.Merge(a)
+	if a.Count("shared") != 3 {
+		t.Fatalf("self-merge doubled counts: %d", a.Count("shared"))
+	}
+	a.Merge(nil)
+	var nilr *Registry
+	nilr.Merge(a)
+	a.Merge(NewRegistry())
+	if a.Count("shared") != 3 {
+		t.Fatalf("no-op merges changed counts: %d", a.Count("shared"))
+	}
+}
+
+func TestAdd(t *testing.T) {
+	r := NewRegistry()
+	r.Add("bulk", 5)
+	r.Add("bulk", 0)
+	if r.Count("bulk") != 5 {
+		t.Fatalf("add: %d", r.Count("bulk"))
+	}
+	var nilr *Registry
+	nilr.Add("bulk", 1) // must not panic
+}
+
+// TestParallelHarnessHammer is the concurrency-safety regression test for
+// the parallel conformance pool: many goroutines hammering overlapping probe
+// sets, interleaved with snapshots, merges into a shared registry, and a
+// reset — the exact access pattern core.Run's workers produce. Run under
+// -race (scripts/ci.sh does) to catch unsynchronized access.
+func TestParallelHarnessHammer(t *testing.T) {
+	shared := NewRegistry()
+	const workers = 16
+	const hitsPerProbe = 500
+	probes := []string{"store.put", "store.get", "disk.crash", "lsm.flush", "chunk.reclaim"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := NewRegistry()
+			for j := 0; j < hitsPerProbe; j++ {
+				for _, p := range probes {
+					local.Hit(p)
+				}
+				if j%100 == 0 {
+					_ = local.Snapshot()
+					_ = local.Covered("store.put")
+				}
+			}
+			shared.Merge(local)
+		}(w)
+	}
+	// Concurrent readers over the shared registry while merges land.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = shared.Snapshot()
+					_ = shared.Report("store.")
+					_ = shared.Missing(probes)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	for _, p := range probes {
+		if got := shared.Count(p); got != workers*hitsPerProbe {
+			t.Fatalf("probe %s: %d hits, want %d", p, got, workers*hitsPerProbe)
+		}
+	}
+	shared.Reset()
+	if len(shared.Snapshot()) != 0 {
+		t.Fatalf("reset left counters: %v", shared.Snapshot())
+	}
+}

@@ -44,22 +44,31 @@ func BiasAblation(w io.Writer, quick bool) error {
 	tb := newTable("bias configuration", "detected", "median cases to detection", "p90")
 	detectionsByConfig := map[string][]int{}
 	for _, cfgSpec := range configs {
-		var needed []int
-		detected := 0
-		for trial := 0; trial < trials; trial++ {
+		// Trials are independent detection cells: run them on the worker
+		// pool, each strictly sequential inside. Results land in per-trial
+		// slots, so the table is identical at any pool width.
+		needed := make([]int, trials)
+		core.ParallelFor(Workers, trials, func(trial int) {
 			cfg := core.DetectionConfig(faults.Bug1ReclaimOffByOne, prop.CaseSeed(7, trial))
 			cfg.Bias = cfgSpec.bias
 			cfg.Cases = budget
 			cfg.Minimize = false
+			cfg.Workers = 1
 			res := core.Run(cfg)
 			if res.Failure != nil {
-				detected++
-				needed = append(needed, res.Failure.Case+1)
+				needed[trial] = res.Failure.Case + 1
 			} else {
-				needed = append(needed, budget+1) // censored
+				needed[trial] = budget + 1 // censored
+			}
+		})
+		detected := 0
+		for _, n := range needed {
+			if n <= budget {
+				detected++
 			}
 		}
 		detectionsByConfig[cfgSpec.name] = needed
+		needed = append([]int(nil), needed...)
 		sort.Ints(needed)
 		med := fmt.Sprint(needed[len(needed)/2])
 		p90 := fmt.Sprint(needed[len(needed)*9/10])

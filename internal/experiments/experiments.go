@@ -18,6 +18,15 @@ import (
 	"time"
 )
 
+// Workers is the worker-pool width the experiments hand to the conformance
+// harnesses and grid runners: 0 means one worker per CPU, 1 forces
+// sequential execution. cmd/experiments sets it from -workers. Detection
+// results are deterministic at any width (same seed ⇒ same table); only
+// wall-clock columns change. Shuttle-based model-checking experiments
+// (fig4, mctradeoff, the fig5 concurrency rows) ignore it — they install a
+// process-global scheduler and must stay sequential.
+var Workers int
+
 // Experiment is one runnable table/figure generator.
 type Experiment struct {
 	// Name is the cmd/experiments -run selector (e.g. "fig5").

@@ -67,30 +67,54 @@ type Fig5Row struct {
 // issues, run the designated checker class, and record whether (and how
 // fast) it is detected. It also verifies the clean baseline: with all bugs
 // fixed, the same budgets find nothing.
+//
+// The PBT rows (#1–#10) are independent detection cells and run on the
+// worker pool (Workers wide), each cell strictly sequential inside so the
+// machine is not oversubscribed; per-row wall times therefore overlap and
+// only the table's total regeneration time reflects the speedup. The
+// concurrency rows (#11–#16) run strictly sequentially afterwards: shuttle
+// installs the process-global vsync runtime, which must not overlap the
+// pool (vsync.SetRuntime fails loudly if it does).
 func Fig5Run(quick bool) ([]Fig5Row, error) {
 	budgets := fig5Budgets(quick)
-	var rows []Fig5Row
-	for _, info := range faults.All() {
-		b := budgets[info.Bug]
-		row := Fig5Row{Bug: info.Bug, Component: info.Component, Class: info.Class, Checker: core.CheckerFor(info.Bug)}
+	all := faults.All()
+	rows := make([]Fig5Row, len(all))
+	var pbt []int
+	for i, info := range all {
+		rows[i] = Fig5Row{Bug: info.Bug, Component: info.Component, Class: info.Class, Checker: core.CheckerFor(info.Bug)}
+		if info.Class != faults.Concurrency {
+			pbt = append(pbt, i)
+		}
+	}
+
+	core.ParallelFor(Workers, len(pbt), func(j int) {
+		i := pbt[j]
+		row := &rows[i]
+		b := budgets[row.Bug]
 		start := time.Now()
-		if info.Class == faults.Concurrency {
-			res, rep := core.DetectConcurrent(info.Bug, b.strategy(), b.iterations)
-			row.Detected = res.Detected
-			row.Effort = fmt.Sprintf("%d/%d interleavings", res.CasesNeeded, b.iterations)
-			if f := rep.First(); f != nil {
-				row.Witness = fmt.Sprintf("%v, %d scheduling points", f.Kind, len(f.Trace))
-			}
-		} else {
-			res := core.DetectSequential(info.Bug, 1234, b.cases)
-			row.Detected = res.Detected
-			row.Effort = fmt.Sprintf("%d/%d sequences", res.CasesNeeded, b.cases)
-			if res.Failure != nil {
-				row.Witness = fmt.Sprintf("minimized to %d ops", len(res.Failure.Minimized))
-			}
+		res := core.DetectSequentialN(row.Bug, 1234, b.cases, 1)
+		row.Detected = res.Detected
+		row.Effort = fmt.Sprintf("%d/%d sequences", res.CasesNeeded, b.cases)
+		if res.Failure != nil {
+			row.Witness = fmt.Sprintf("minimized to %d ops", len(res.Failure.Minimized))
 		}
 		row.Elapsed = time.Since(start)
-		rows = append(rows, row)
+	})
+
+	for i, info := range all {
+		if info.Class != faults.Concurrency {
+			continue
+		}
+		row := &rows[i]
+		b := budgets[info.Bug]
+		start := time.Now()
+		res, rep := core.DetectConcurrent(info.Bug, b.strategy(), b.iterations)
+		row.Detected = res.Detected
+		row.Effort = fmt.Sprintf("%d/%d interleavings", res.CasesNeeded, b.iterations)
+		if f := rep.First(); f != nil {
+			row.Witness = fmt.Sprintf("%v, %d scheduling points", f.Kind, len(f.Trace))
+		}
+		row.Elapsed = time.Since(start)
 	}
 	return rows, nil
 }

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"shardstore/internal/core"
 )
 
 // Fig 6 of the paper tallies lines of code for the ShardStore implementation
@@ -88,10 +90,19 @@ func countLines(path string) (int, error) {
 	return n, sc.Err()
 }
 
-// CountLOC walks the repository and returns per-category line counts.
+// CountLOC walks the repository and returns per-category line counts. The
+// walk collects the file list sequentially (ordering and categorization stay
+// deterministic), then the per-file line counting — the IO-bound part —
+// fans out across the shared worker pool, each file writing only its own
+// slot before a sequential aggregation pass.
 func CountLOC(root string) (map[locCategory]int, int, error) {
-	counts := map[locCategory]int{}
-	total := 0
+	type goFile struct {
+		path string
+		cat  locCategory
+		n    int
+		err  error
+	}
+	var files []goFile
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -110,15 +121,25 @@ func CountLOC(root string) (map[locCategory]int, int, error) {
 		if err != nil {
 			return err
 		}
-		n, err := countLines(path)
-		if err != nil {
-			return err
-		}
-		counts[categorize(rel)] += n
-		total += n
+		files = append(files, goFile{path: path, cat: categorize(rel)})
 		return nil
 	})
-	return counts, total, err
+	if err != nil {
+		return nil, 0, err
+	}
+	core.ParallelFor(Workers, len(files), func(i int) {
+		files[i].n, files[i].err = countLines(files[i].path)
+	})
+	counts := map[locCategory]int{}
+	total := 0
+	for _, f := range files {
+		if f.err != nil {
+			return nil, 0, f.err
+		}
+		counts[f.cat] += f.n
+		total += f.n
+	}
+	return counts, total, nil
 }
 
 // repoRoot locates the module root (the directory containing go.mod).

@@ -121,6 +121,7 @@ func Fig3(w io.Writer, quick bool) error {
 	start := time.Now()
 	res := core.RunIndexConformance(core.IndexConfig{
 		Seed: 11, Cases: cases, OpsPerCase: 30, Bias: core.DefaultBias(), Minimize: true,
+		Workers: Workers,
 	})
 	elapsed := time.Since(start)
 	tb := newTable("metric", "value")

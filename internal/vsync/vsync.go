@@ -58,10 +58,47 @@ var active atomic.Pointer[runtimeBox]
 
 type runtimeBox struct{ rt Runtime }
 
+// passthroughPins counts live users of passthrough mode that would be
+// silently corrupted by installing a model-checking runtime underneath them
+// — e.g. the worker goroutines of the parallel conformance pool
+// (internal/core), whose vsync.Mutex operations must keep delegating to the
+// standard library for the whole run.
+var passthroughPins atomic.Int64
+
+// PinPassthrough declares that the caller is about to run passthrough-mode
+// goroutines (a parallel harness). While any pin is held, SetRuntime refuses
+// to install a model-checking runtime: the runtime is process-global, so a
+// shuttle exploration started mid-run would reroute the pool's in-flight
+// lock operations through the scheduler and corrupt both the run and the
+// schedule. The returned release function is idempotent.
+//
+// PinPassthrough panics if a runtime is already installed — a parallel
+// harness must not start inside a model-checking run either.
+func PinPassthrough() (release func()) {
+	passthroughPins.Add(1)
+	if CurrentRuntime() != nil {
+		passthroughPins.Add(-1)
+		panic("vsync: cannot start a parallel passthrough harness while a model-checking runtime is installed; shuttle explorations are sequential-only")
+	}
+	var once sync.Once
+	return func() { once.Do(func() { passthroughPins.Add(-1) }) }
+}
+
+// PassthroughPinned reports whether any passthrough pins are held.
+func PassthroughPinned() bool { return passthroughPins.Load() > 0 }
+
 // SetRuntime installs rt as the process-global scheduler. Passing nil
 // restores standard-library behavior. It returns the previously installed
 // runtime, if any.
+//
+// SetRuntime panics if a non-nil runtime is installed while passthrough
+// goroutines are pinned (see PinPassthrough): model-checking runs must stay
+// sequential with respect to the parallel validation pool, and failing
+// loudly here beats silently corrupting the exploration schedule.
 func SetRuntime(rt Runtime) Runtime {
+	if rt != nil && PassthroughPinned() {
+		panic("vsync: SetRuntime while passthrough goroutines are live (a parallel harness such as core.Run is active); shuttle/model-checking runs must not overlap it")
+	}
 	var prev *runtimeBox
 	if rt == nil {
 		prev = active.Swap(nil)

@@ -92,3 +92,75 @@ func TestSetRuntimeSwap(t *testing.T) {
 		t.Fatal("prev should be nil")
 	}
 }
+
+// panicRuntime is a Runtime stub for guard tests; none of its methods should
+// ever be reached.
+type panicRuntime struct{}
+
+func (panicRuntime) MutexLock(*Mutex)            { panic("unreachable") }
+func (panicRuntime) MutexTryLock(*Mutex) bool    { panic("unreachable") }
+func (panicRuntime) MutexUnlock(*Mutex)          { panic("unreachable") }
+func (panicRuntime) RLock(*RWMutex)              { panic("unreachable") }
+func (panicRuntime) RUnlock(*RWMutex)            { panic("unreachable") }
+func (panicRuntime) WLock(*RWMutex)              { panic("unreachable") }
+func (panicRuntime) WUnlock(*RWMutex)            { panic("unreachable") }
+func (panicRuntime) CondWait(*Cond)              { panic("unreachable") }
+func (panicRuntime) CondSignal(*Cond)            { panic("unreachable") }
+func (panicRuntime) CondBroadcast(*Cond)         { panic("unreachable") }
+func (panicRuntime) Spawn(string, func()) Handle { panic("unreachable") }
+func (panicRuntime) Yield()                      { panic("unreachable") }
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestSetRuntimeRefusedWhilePinned is the regression test for the parallel
+// harness guard: installing a model-checking runtime while passthrough
+// goroutines are pinned must fail loudly instead of silently corrupting the
+// schedule.
+func TestSetRuntimeRefusedWhilePinned(t *testing.T) {
+	release := PinPassthrough()
+	if !PassthroughPinned() {
+		t.Fatal("pin not recorded")
+	}
+	mustPanic(t, "SetRuntime under pin", func() { SetRuntime(panicRuntime{}) })
+	if CurrentRuntime() != nil {
+		t.Fatal("refused install still left a runtime behind")
+	}
+	// Uninstalling (nil) must stay allowed while pinned, so a failing
+	// exploration that raced the pool can still restore passthrough mode.
+	if prev := SetRuntime(nil); prev != nil {
+		t.Fatalf("prev runtime: %v", prev)
+	}
+	release()
+	release() // idempotent
+	if PassthroughPinned() {
+		t.Fatal("release did not drop the pin")
+	}
+
+	// After release, installation works again and nested pins still guard.
+	if prev := SetRuntime(panicRuntime{}); prev != nil {
+		t.Fatalf("prev runtime: %v", prev)
+	}
+	// A parallel harness must refuse to start inside a model-checking run.
+	mustPanic(t, "PinPassthrough under runtime", func() { PinPassthrough() })
+	if PassthroughPinned() {
+		t.Fatal("failed pin leaked a count")
+	}
+	SetRuntime(nil)
+
+	r1 := PinPassthrough()
+	r2 := PinPassthrough()
+	r1()
+	mustPanic(t, "SetRuntime under second pin", func() { SetRuntime(panicRuntime{}) })
+	r2()
+	if PassthroughPinned() {
+		t.Fatal("pins leaked")
+	}
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate for the repo: vet, build, full test suite, then the race detector
+# over the packages with real concurrency (the worker-pool harness, the
+# coverage registry, and the pluggable sync layer).
+#
+# The -race pass builds with the `race` tag, which makes the long
+# deterministic bug-hunt suites skip themselves (see
+# internal/core/race_on_test.go) — the detector's value is in the pool and
+# registry concurrency paths, not in replaying tens of thousands of
+# sequential cases 10x slower. The explicit -timeout keeps the race pass
+# honest on small single-CPU runners.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (core, coverage, vsync)"
+go test -race -timeout 600s ./internal/core/... ./internal/coverage/... ./internal/vsync/...
+
+echo "CI PASS"

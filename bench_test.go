@@ -412,6 +412,86 @@ func BenchmarkSerializationRobustness(b *testing.B) {
 	}
 }
 
+// BenchmarkScrubThroughput: scrub verification throughput in pages/sec over
+// a replicated store — a clean pass (verify only) vs a pass where ~1% of the
+// shards have one rotted replica each round (verify + quarantine + repair).
+func BenchmarkScrubThroughput(b *testing.B) {
+	const shards = 64
+	for _, mode := range []struct {
+		name    string
+		rotters int // shards with one rotted replica per round
+	}{{"clean", 0}, {"rot-1pct", (shards + 99) / 100}} {
+		b.Run(mode.name, func(b *testing.B) {
+			set := faults.NewSet()
+			set.Enable(faults.FaultSilentCorruption)
+			cfg := store.Config{Seed: 1, Bugs: set, Replicas: 2}
+			cfg.Disk = disk.Config{PageSize: 4096, PagesPerExtent: 64, ExtentCount: 64, Faults: set}
+			cfg.MaxMemEntries = 128
+			cfg.AutoFlushThreshold = 64
+			st, d, err := store.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := make([]byte, 3800)
+			for i := 0; i < shards; i++ {
+				if _, err := st.Put(fmt.Sprintf("k%04d", i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			settle := func() {
+				if _, err := st.FlushIndex(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.FlushSuperblock(); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Scheduler().Pump(); err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			settle()
+			ps := d.Config().PageSize
+			pages := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode.rotters > 0 {
+					b.StopTimer()
+					// Quiesce so repairs from the previous round are on the
+					// durable image, then rot one replica of the next few
+					// shards (round-robin so repair targets keep moving).
+					settle()
+					for r := 0; r < mode.rotters; r++ {
+						key := fmt.Sprintf("k%04d", (i*mode.rotters+r)%shards)
+						entry, err := st.Index().Get(key)
+						if err != nil {
+							b.Fatal(err)
+						}
+						groups, err := store.DecodeEntryGroups(entry)
+						if err != nil {
+							b.Fatal(err)
+						}
+						loc := groups[0][0]
+						d.CorruptPage(loc.Extent, loc.Offset/ps, disk.RotFlip, int64(i))
+					}
+					b.StartTimer()
+				}
+				res, err := st.ScrubRound()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Irreparable > 0 {
+					b.Fatalf("irreparable piece during benchmark: %+v", res)
+				}
+				pages += (res.BytesVerified + ps - 1) / ps
+			}
+			b.ReportMetric(float64(pages)/b.Elapsed().Seconds(), "pages/sec")
+		})
+	}
+}
+
 // BenchmarkLSMLookup: index lookups across several runs.
 func BenchmarkLSMLookup(b *testing.B) {
 	st := newBenchStore(b)

@@ -47,6 +47,8 @@ func main() {
 	connect := flag.String("connect", "", "client mode: connect to this address")
 	disks := flag.Int("disks", 4, "number of simulated disks (server mode)")
 	maintenance := flag.Duration("maintenance", 250*time.Millisecond, "background maintenance interval")
+	scrubInterval := flag.Duration("scrub-interval", time.Second, "background integrity-scrub step interval (0 disables)")
+	replicas := flag.Int("replicas", 1, "replicas per chunk within each disk (intra-host redundancy)")
 	check := flag.Bool("check", false, "run the conformance check against this build and exit")
 	cases := flag.Int("cases", 2000, "check mode: number of random op sequences")
 	ops := flag.Int("ops", 40, "check mode: operations per sequence")
@@ -58,7 +60,7 @@ func main() {
 	case *check:
 		runCheck(*cases, *ops, *seed, *parallel)
 	case *listen != "":
-		runServer(*listen, *disks, *maintenance)
+		runServer(*listen, *disks, *maintenance, *scrubInterval, *replicas)
 	case *connect != "":
 		runClient(*connect, flag.Args())
 	default:
@@ -112,7 +114,7 @@ func runCheck(cases, ops int, seed int64, parallel int) {
 	os.Exit(1)
 }
 
-func runServer(addr string, disks int, maintenance time.Duration) {
+func runServer(addr string, disks int, maintenance, scrubInterval time.Duration, replicas int) {
 	var stores []*store.Store
 	for i := 0; i < disks; i++ {
 		cfg := store.Config{Seed: int64(i + 1)}
@@ -122,11 +124,13 @@ func runServer(addr string, disks int, maintenance time.Duration) {
 		cfg.Disk.ExtentCount = 64
 		cfg.MaxMemEntries = 128     // auto-flush the memtable
 		cfg.AutoFlushThreshold = 64 // auto-flush the superblock
+		cfg.Replicas = replicas     // intra-host redundancy for scrub repair
 		st, _, err := store.New(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "disk %d: %v\n", i, err)
 			os.Exit(1)
 		}
+		st.StartScrub(scrubInterval)
 		stores = append(stores, st)
 	}
 
@@ -176,7 +180,7 @@ func runServer(addr string, disks int, maintenance time.Duration) {
 
 func runClient(addr string, args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | list | stats | flush <disk>")
+		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | list | stats | flush <disk> | scrub <disk> | scrub-status <disk>")
 		os.Exit(2)
 	}
 	c, err := rpc.Dial(addr)
@@ -221,7 +225,8 @@ func runClient(addr string, args []string) {
 	case "stats":
 		s, err := c.Stats()
 		fail(err)
-		fmt.Printf("disks=%d shards=%d per-disk=%v in-service=%v\n", s.Disks, s.Shards, s.ShardsPer, s.InService)
+		fmt.Printf("disks=%d shards=%d per-disk=%v in-service=%v scrub-rounds=%v scrub-repaired=%v scrub-lost=%v\n",
+			s.Disks, s.Shards, s.ShardsPer, s.InService, s.ScrubRounds, s.ScrubRepaired, s.ScrubLost)
 	case "flush":
 		var d int
 		if len(args) == 2 {
@@ -229,6 +234,21 @@ func runClient(addr string, args []string) {
 		}
 		fail(c.Flush(d))
 		fmt.Println("ok")
+	case "scrub", "scrub-status":
+		var d int
+		if len(args) == 2 {
+			_, _ = fmt.Sscanf(args[1], "%d", &d)
+		}
+		var s *rpc.ScrubStatus
+		var err error
+		if args[0] == "scrub" {
+			s, err = c.Scrub(d)
+		} else {
+			s, err = c.ScrubStatus(d)
+		}
+		fail(err)
+		fmt.Printf("rounds=%d scanned=%d verified=%d bad=%d repaired=%d irreparable=%d lost=%v\n",
+			s.Rounds, s.KeysScanned, s.FramesVerified, s.BadReplicas, s.Repaired, s.Irreparable, s.LostShards)
 	default:
 		fail(fmt.Errorf("unknown command %q", args[0]))
 	}

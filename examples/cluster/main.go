@@ -1,8 +1,9 @@
 // Cluster: the §2.1 deployment shape. Run a storage host with several
 // per-disk stores behind the shared RPC interface, drive a workload through
-// the client, cycle a disk out of and back into service (a control-plane
-// repair operation), and show that steering and recovery keep every shard
-// readable.
+// the client, silently corrupt one replica of a shard and let the integrity
+// scrubber repair it, cycle a disk out of and back into service (a
+// control-plane repair operation), and show that steering, scrubbing, and
+// recovery keep every shard readable.
 //
 //	go run ./examples/cluster
 package main
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"shardstore/internal/disk"
 	"shardstore/internal/faults"
 	"shardstore/internal/rpc"
 	"shardstore/internal/store"
@@ -20,12 +22,21 @@ import (
 func main() {
 	const disks = 4
 	var stores []*store.Store
+	var devs []*disk.Disk
 	for i := 0; i < disks; i++ {
-		st, _, err := store.New(store.Config{Seed: int64(i + 1), Bugs: faults.NewSet()})
+		// Each disk's store keeps two replicas of every chunk and its disk
+		// model accepts silent-corruption injection — the scrub demo below
+		// rots one copy out from under a shard.
+		set := faults.NewSet()
+		set.Enable(faults.FaultSilentCorruption)
+		dcfg := disk.DefaultConfig()
+		dcfg.Faults = set
+		st, d, err := store.New(store.Config{Seed: int64(i + 1), Bugs: set, Disk: dcfg, Replicas: 2})
 		if err != nil {
 			log.Fatal(err)
 		}
 		stores = append(stores, st)
+		devs = append(devs, d)
 	}
 	srv := rpc.NewServer(stores)
 	addr, err := srv.Serve("127.0.0.1:0")
@@ -33,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("storage host up: %d disks on %s\n", disks, addr)
+	fmt.Printf("storage host up: %d disks\n", disks)
 
 	c, err := rpc.Dial(addr)
 	if err != nil {
@@ -53,6 +64,59 @@ func main() {
 	}
 	stats, _ := c.Stats()
 	fmt.Printf("stored %d shards, steering spread across disks: %v\n", stats.Shards, stats.ShardsPer)
+
+	// Integrity: rot one replica of a shard on its disk's durable image —
+	// no IO error, the bytes just change — then scrub. The scrubber catches
+	// the bad frame CRC, quarantines the rotted copy, and rewrites it from
+	// the surviving replica; the read afterwards sees the original bytes.
+	const victim = "shard-0000"
+	diskIdx, st := -1, (*store.Store)(nil)
+	for i, s := range stores {
+		if _, err := s.Index().Get(victim); err == nil {
+			diskIdx, st = i, s
+			break
+		}
+	}
+	if st == nil {
+		log.Fatalf("no disk holds %s", victim)
+	}
+	// Quiesce so the shard's replicas are on the durable image.
+	if _, err := st.FlushIndex(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.FlushSuperblock(); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Scheduler().Pump(); err != nil {
+		log.Fatal(err)
+	}
+	if err := devs[diskIdx].Sync(); err != nil {
+		log.Fatal(err)
+	}
+	entry, err := st.Index().Get(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := store.DecodeEntryGroups(entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loc := groups[0][0]
+	if !devs[diskIdx].CorruptPage(loc.Extent, loc.Offset/devs[diskIdx].Config().PageSize, disk.RotZero, 1) {
+		log.Fatal("corruption injection refused")
+	}
+	fmt.Printf("rotted one replica of %s; scrubbing its disk ...\n", victim)
+	status, err := c.Scrub(diskIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scrub: bad replicas=%d repaired=%d irreparable=%d\n",
+		status.BadReplicas, status.Repaired, status.Irreparable)
+	got, err := c.Get(victim)
+	if err != nil || !bytes.Equal(got, values[victim]) {
+		log.Fatalf("read after repair: %v", err)
+	}
+	fmt.Printf("%s reads back intact after repair\n", victim)
 
 	// Control plane: bulk repair traffic.
 	if err := c.BulkCreate([]string{"repair-a", "repair-b"}, [][]byte{{1}, {2}}); err != nil {

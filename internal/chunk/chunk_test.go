@@ -551,3 +551,158 @@ func TestReclaimSurvivesCrashOrdering(t *testing.T) {
 		t.Fatalf("evacuated chunk corrupt: %v", err)
 	}
 }
+
+// --- frame trailer edge cases and single-bit rot (scrub subsystem tests) ---
+
+// TestFrameTrailerTable is the table-driven trailer property: a frame whose
+// buffer stops anywhere short of the claimed length is ErrTruncated, trailing
+// garbage past the frame is ignored, and damage inside the trailer maps to
+// the specific sentinel for what broke (UUID echo vs CRC).
+func TestFrameTrailerTable(t *testing.T) {
+	uuid := UUID{0xAA, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	frame, err := EncodeFrame(TagData, "trailer-key", bytes.Repeat([]byte{0x5C}, 33), uuid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error // nil means the decode must succeed
+	}{
+		{"truncated-last-byte", func(f []byte) []byte { return f[:len(f)-1] }, ErrTruncated},
+		{"truncated-mid-uuid", func(f []byte) []byte { return f[:len(f)-uuidLen/2] }, ErrTruncated},
+		{"truncated-whole-trailer", func(f []byte) []byte { return f[:len(f)-trailerFixedLen] }, ErrTruncated},
+		{"truncated-mid-crc", func(f []byte) []byte { return f[:len(f)-uuidLen-2] }, ErrTruncated},
+		{"oversized-trailing-garbage", func(f []byte) []byte {
+			return append(append([]byte(nil), f...), 0xDE, 0xAD, 0xBE, 0xEF)
+		}, nil},
+		{"oversized-page-padding", func(f []byte) []byte {
+			return append(append([]byte(nil), f...), make([]byte, 4096)...)
+		}, nil},
+		{"trailer-uuid-flipped", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			out[len(out)-1] ^= 0xFF
+			return out
+		}, ErrUUIDMissing},
+		{"crc-byte-flipped", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			out[len(out)-trailerFixedLen] ^= 0xFF
+			return out
+		}, ErrBadCRC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, key, payload, err := DecodeFrame(tc.mutate(frame))
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if key != "trailer-key" || len(payload) != 33 {
+					t.Fatalf("decode mismatch: %q %d bytes", key, len(payload))
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFrameSingleBitFlipIsBadCRC: one flipped bit anywhere in the key or
+// payload region must surface as exactly ErrBadCRC — the CRC is the layer
+// that catches body rot, and it must catch the minimal possible rot.
+func TestFrameSingleBitFlipIsBadCRC(t *testing.T) {
+	uuid := UUID{7}
+	payload := bytes.Repeat([]byte{0x31}, 40)
+	frame, err := EncodeFrame(TagData, "bit-key", payload, uuid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyStart := headerFixedLen // key then payload
+	bodyEnd := len(frame) - trailerFixedLen
+	for pos := bodyStart; pos < bodyEnd; pos++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), frame...)
+			bad[pos] ^= 1 << bit
+			_, _, _, err := DecodeFrame(bad)
+			if !errors.Is(err, ErrBadCRC) {
+				t.Fatalf("flip byte %d bit %d: got %v, want ErrBadCRC", pos, bit, err)
+			}
+		}
+	}
+}
+
+// --- quarantine path ---
+
+func TestQuarantineRefusesReads(t *testing.T) {
+	env, res := newEnv(t, nil)
+	loc, _, release, err := env.cs.Put(TagData, "qk", []byte("still fine bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.live[loc] = "qk"
+	release()
+	// Warm the cache: quarantine must not serve the cached copy either.
+	if _, _, err := env.cs.GetWithKey(loc); err != nil {
+		t.Fatal(err)
+	}
+	env.cs.Quarantine(loc)
+	if !env.cs.IsQuarantined(loc) || env.cs.QuarantineCount() != 1 {
+		t.Fatal("quarantine not recorded")
+	}
+	if _, _, err := env.cs.GetWithKey(loc); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined read: %v", err)
+	}
+	if _, err := env.cs.Get(loc); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined Get: %v", err)
+	}
+	// Idempotent: re-quarantining the same locator counts once.
+	env.cs.Quarantine(loc)
+	if env.cs.QuarantineCount() != 1 || env.cs.Stats().Quarantined != 1 {
+		t.Fatalf("double quarantine: count=%d stats=%+v", env.cs.QuarantineCount(), env.cs.Stats())
+	}
+	// Other locators stay readable.
+	loc2, _, rel2, err := env.cs.Put(TagData, "ok", []byte("unaffected"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.live[loc2] = "ok"
+	rel2()
+	if _, _, err := env.cs.GetWithKey(loc2); err != nil {
+		t.Fatalf("unquarantined read: %v", err)
+	}
+}
+
+func TestQuarantineLiftedByExtentReset(t *testing.T) {
+	env, res := newEnv(t, nil)
+	loc, _, release, err := env.cs.Put(TagData, "gone", []byte("garbage soon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	env.cs.Quarantine(loc)
+	// Roll the active write extent forward so loc's extent can be reclaimed.
+	for {
+		fl, _, frel, err := env.cs.Put(TagData, "fill", bytes.Repeat([]byte{2}, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.live[fl] = "fill"
+		frel()
+		if fl.Extent != loc.Extent {
+			break
+		}
+	}
+	// The chunk is garbage (not in the resolver's live set), so reclaiming
+	// its extent resets it; the reset lifts the quarantine — the locator
+	// names fresh space now, not the rotted frame.
+	env.pump(t)
+	if err := env.cs.Reclaim(loc.Extent); err != nil {
+		t.Fatal(err)
+	}
+	if env.cs.IsQuarantined(loc) {
+		t.Fatal("quarantine survived extent reset")
+	}
+	_ = res
+}

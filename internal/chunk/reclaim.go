@@ -118,7 +118,7 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 			}
 			continue
 		}
-		newLoc, newDep, release, err := s.put(c.tag, c.key, c.payload, true)
+		newLoc, newDep, release, err := s.put(c.tag, c.key, c.payload, true, nil)
 		if err != nil {
 			return finish(fmt.Errorf("%w: evacuation append: %v", ErrAborted, err))
 		}
@@ -202,6 +202,7 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 	}
 	s.mu.Lock()
 	s.stats.ExtentsRecycled++
+	s.clearQuarantineLocked(victim)
 	s.mu.Unlock()
 	s.cov.Hit("chunk.reclaim.reset")
 	return finish(nil)

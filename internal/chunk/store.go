@@ -26,6 +26,7 @@ var (
 	ErrNoResolver  = errors.New("chunk: no resolver registered for tag")
 	ErrChunkTooBig = errors.New("chunk: frame exceeds extent capacity")
 	ErrAborted     = errors.New("chunk: reclamation aborted")
+	ErrQuarantined = errors.New("chunk: locator quarantined (failed scrub verification)")
 )
 
 // Locator is the opaque pointer to a stored chunk (§2.1: "locators are
@@ -91,6 +92,7 @@ type Stats struct {
 	CorruptSkipped  uint64
 	BytesEvacuated  uint64
 	ExtentsRecycled uint64
+	Quarantined     uint64
 }
 
 // Store is the chunk store for one disk.
@@ -111,6 +113,10 @@ type Store struct {
 	pins map[disk.ExtentID]int
 	// reclaiming marks extents mid-reclamation; appends avoid them.
 	reclaiming map[disk.ExtentID]bool
+	// quarantined marks locators whose frames failed scrub verification;
+	// reads refuse them so rotted bytes are never served, and an extent
+	// reset clears its entries (the storage is reused for new chunks).
+	quarantined map[Locator]bool
 
 	resolvers map[Tag]Resolver
 	stats     Stats
@@ -120,16 +126,17 @@ type Store struct {
 // (UUID generation, victim selection) deterministically.
 func NewStore(em *extent.Manager, cfg Config, seed int64, cov *coverage.Registry, bugs *faults.Set) *Store {
 	s := &Store{
-		em:         em,
-		cov:        cov,
-		bugs:       bugs,
-		cfg:        cfg,
-		cache:      buffercache.New(cfg.CacheCapacity, cov),
-		rng:        rand.New(rand.NewSource(seed)),
-		active:     -1,
-		pins:       make(map[disk.ExtentID]int),
-		reclaiming: make(map[disk.ExtentID]bool),
-		resolvers:  make(map[Tag]Resolver),
+		em:          em,
+		cov:         cov,
+		bugs:        bugs,
+		cfg:         cfg,
+		cache:       buffercache.New(cfg.CacheCapacity, cov),
+		rng:         rand.New(rand.NewSource(seed)),
+		active:      -1,
+		pins:        make(map[disk.ExtentID]int),
+		reclaiming:  make(map[disk.ExtentID]bool),
+		quarantined: make(map[Locator]bool),
+		resolvers:   make(map[Tag]Resolver),
 	}
 	return s
 }
@@ -197,13 +204,13 @@ func (s *Store) padTo(buf []byte) []byte {
 // reset's gate could tie the two resets into a cycle. Ordinary data puts
 // keep one free extent in reserve so reclamation always has somewhere to
 // evacuate. Caller holds s.mu.
-func (s *Store) ensureSpaceLocked(need int, critical bool) (disk.ExtentID, error) {
+func (s *Store) ensureSpaceLocked(need int, critical bool, avoid map[disk.ExtentID]bool) (disk.ExtentID, error) {
 	cap := s.em.Capacity()
 	if need > cap {
 		return 0, fmt.Errorf("%w: %d > %d", ErrChunkTooBig, need, cap)
 	}
 	usable := func(ext disk.ExtentID) bool {
-		if s.reclaiming[ext] || s.em.Pointer(ext)+need > cap {
+		if avoid[ext] || s.reclaiming[ext] || s.em.Pointer(ext)+need > cap {
 			return false
 		}
 		return !critical || !s.em.ResetGatePending(ext)
@@ -256,12 +263,28 @@ func (s *Store) ensureSpaceLocked(need int, critical bool) (disk.ExtentID, error
 // where a freshly written chunk is invisible to the reverse lookup — the
 // race at the heart of the paper's bug #14.
 func (s *Store) Put(tag Tag, key string, payload []byte, waits ...*dep.Dependency) (Locator, *dep.Dependency, func(), error) {
-	return s.put(tag, key, payload, false, waits...)
+	return s.put(tag, key, payload, false, nil, waits...)
+}
+
+// PutAvoiding is Put with extent-placement constraints: the chunk is never
+// appended to an extent in avoid. It is how replicated writes land each copy
+// on a distinct extent (so one rotted extent cannot take out every replica)
+// and how scrub repair places the healed copy away from the survivors.
+func (s *Store) PutAvoiding(tag Tag, key string, payload []byte, avoid []disk.ExtentID, waits ...*dep.Dependency) (Locator, *dep.Dependency, func(), error) {
+	var m map[disk.ExtentID]bool
+	if len(avoid) > 0 {
+		m = make(map[disk.ExtentID]bool, len(avoid))
+		for _, e := range avoid {
+			m[e] = true
+		}
+	}
+	return s.put(tag, key, payload, false, m, waits...)
 }
 
 // put implements Put; forEvacuation selects the reset-gate-avoiding
-// placement policy used by reclamation.
-func (s *Store) put(tag Tag, key string, payload []byte, forEvacuation bool, waits ...*dep.Dependency) (Locator, *dep.Dependency, func(), error) {
+// placement policy used by reclamation, avoid excludes extents from
+// placement (replica spreading).
+func (s *Store) put(tag Tag, key string, payload []byte, forEvacuation bool, avoid map[disk.ExtentID]bool, waits ...*dep.Dependency) (Locator, *dep.Dependency, func(), error) {
 	uuid := s.newUUID()
 	frame, err := EncodeFrame(tag, key, payload, uuid)
 	if err != nil {
@@ -274,7 +297,7 @@ func (s *Store) put(tag Tag, key string, payload []byte, forEvacuation bool, wai
 	// Evacuations and index-run writes are GC- and metadata-critical: they
 	// may consume the reserved headroom extent; ordinary data puts may not.
 	critical := forEvacuation || tag == TagIndexRun
-	ext, err := s.ensureSpaceLocked(len(padded), critical)
+	ext, err := s.ensureSpaceLocked(len(padded), critical, avoid)
 	if err != nil {
 		s.mu.Unlock()
 		return Locator{}, nil, nil, err
@@ -312,6 +335,14 @@ func (s *Store) Get(loc Locator) ([]byte, error) {
 // the owning key so callers can validate that a locator still names the
 // chunk they meant (the bug #11 guard in the store layer).
 func (s *Store) GetWithKey(loc Locator) ([]byte, string, error) {
+	s.mu.Lock()
+	if s.quarantined[loc] {
+		s.stats.GetErrors++
+		s.mu.Unlock()
+		s.cov.Hit("chunk.get.quarantined")
+		return nil, "", fmt.Errorf("%w: %v", ErrQuarantined, loc)
+	}
+	s.mu.Unlock()
 	if cached, owner := s.cache.Get(loc.cacheKey()); cached != nil {
 		s.mu.Lock()
 		s.stats.Gets++
@@ -344,6 +375,46 @@ func (s *Store) GetWithKey(loc Locator) ([]byte, string, error) {
 // when a locator is discovered to be stale).
 func (s *Store) InvalidateCached(loc Locator) {
 	s.cache.Invalidate(loc.cacheKey())
+}
+
+// Quarantine marks loc as failed-verification: subsequent reads return
+// ErrQuarantined instead of serving bytes that no longer match their CRC.
+// The cached copy (which may predate the rot) is dropped too — quarantine
+// means "this locator is not trustworthy", not "serve the old bytes".
+// Resetting the extent lifts the quarantine for its locators.
+func (s *Store) Quarantine(loc Locator) {
+	s.cache.Invalidate(loc.cacheKey())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.quarantined[loc] {
+		s.quarantined[loc] = true
+		s.stats.Quarantined++
+		s.cov.Hit("chunk.quarantine")
+	}
+}
+
+// IsQuarantined reports whether loc is quarantined.
+func (s *Store) IsQuarantined(loc Locator) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined[loc]
+}
+
+// QuarantineCount returns the number of currently quarantined locators.
+func (s *Store) QuarantineCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quarantined)
+}
+
+// clearQuarantineLocked lifts quarantine for every locator on ext; called
+// after an extent reset recycles the storage. Caller holds s.mu.
+func (s *Store) clearQuarantineLocked(ext disk.ExtentID) {
+	for loc := range s.quarantined {
+		if loc.Extent == ext {
+			delete(s.quarantined, loc)
+		}
+	}
 }
 
 // ActiveExtent returns the current append target, or -1 if none.

@@ -37,6 +37,14 @@ type Config struct {
 	EnableFailures bool
 	// EnableControlPlane includes List/RemoveDisk/ReturnDisk.
 	EnableControlPlane bool
+	// EnableScrub includes integrity-scrub rounds in the alphabet.
+	EnableScrub bool
+	// EnableCorruption includes silent-corruption injection (RotReplica /
+	// RotAll). It arms FaultSilentCorruption in the store's fault set and
+	// defaults StoreConfig.Replicas to 2, so the checked property is the
+	// scrub contract: k < R rotted copies never cost readability, k = R is
+	// reported as loss rather than silently served.
+	EnableCorruption bool
 	// ExhaustiveCrash enumerates block-level crash states at each
 	// DirtyReboot instead of sampling one (§5, the BOB/CrashMonkey-style
 	// variant). Exponential in dirty pages; bounded by ExhaustiveCap.
@@ -82,6 +90,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StoreConfig.Bugs == nil {
 		c.StoreConfig.Bugs = faults.NewSet()
+	}
+	if c.EnableCorruption {
+		if c.StoreConfig.Replicas == 0 {
+			c.StoreConfig.Replicas = 2
+		}
+		c.StoreConfig.Bugs.Enable(faults.FaultSilentCorruption)
+		if c.StoreConfig.Disk.Faults == nil {
+			c.StoreConfig.Disk.Faults = c.StoreConfig.Bugs
+		}
 	}
 	if c.StoreConfig.Coverage == nil {
 		c.StoreConfig.Coverage = coverage.NewRegistry()
@@ -479,6 +496,32 @@ func (es *execState) apply(op Op) error {
 
 	case OpDirtyReboot:
 		return es.dirtyReboot(op)
+
+	case OpScrub:
+		if !es.inService {
+			return nil
+		}
+		_, err := es.st.ScrubRound()
+		if ferr := es.opFailure("Scrub", err); ferr != nil {
+			return ferr
+		}
+		// The loss verdict must be honest: a shard the scrubber reports
+		// irreparable must actually have had every replica of a piece
+		// corrupted (k = R). Anything else is a scrubber defect — it either
+		// failed to use a surviving replica or repaired from an unverified
+		// source and then lost the survivors.
+		for _, k := range es.st.Scrubber().LostKeys() {
+			if !es.ref.Rotted(k) {
+				return fmt.Errorf("scrub reported shard %q irreparable, but fewer than all replicas were corrupted", k)
+			}
+		}
+		return nil
+
+	case OpRotReplica, OpRotAll:
+		if !es.inService {
+			return nil
+		}
+		return es.applyRot(op)
 
 	default:
 		return fmt.Errorf("harness: unknown op kind %v", op.Kind)

@@ -54,6 +54,17 @@ const (
 	OpCleanReboot
 	// OpDirtyReboot crashes and recovers (§5 persistence check).
 	OpDirtyReboot
+	// OpScrub runs one full integrity-scrub round (verify replicas, repair
+	// rotted copies, record irreparable losses).
+	OpScrub
+	// OpRotReplica silently corrupts the durable pages of one replica of one
+	// piece of a shard — only when at least two replicas currently verify, so
+	// k stays below R and the shard must remain readable.
+	OpRotReplica
+	// OpRotAll silently corrupts every replica of one piece (k = R): the
+	// shard may become unreadable, and a scrub must report it lost rather
+	// than serve rotted bytes.
+	OpRotAll
 
 	numOpKinds
 )
@@ -76,6 +87,9 @@ var opNames = map[OpKind]string{
 	OpFailDiskOnce:    "FailDiskOnce",
 	OpCleanReboot:     "CleanReboot",
 	OpDirtyReboot:     "DirtyReboot",
+	OpScrub:           "Scrub",
+	OpRotReplica:      "RotReplica",
+	OpRotAll:          "RotAll",
 }
 
 func (k OpKind) String() string {
@@ -149,6 +163,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s(%q)", o.Kind, o.Key)
 	case OpReclaim, OpFailDiskOnce:
 		return fmt.Sprintf("%s(extent %d)", o.Kind, o.Extent)
+	case OpRotReplica, OpRotAll:
+		return fmt.Sprintf("%s(%q, piece %d)", o.Kind, o.Key, o.Extent)
 	case OpDirtyReboot:
 		return fmt.Sprintf("DirtyReboot(%s)", o.Flags)
 	default:
@@ -213,6 +229,13 @@ func opWeights(cfg Config) map[OpKind]int {
 	}
 	if cfg.EnableCrashes {
 		w[OpDirtyReboot] = 5
+	}
+	if cfg.EnableScrub {
+		w[OpScrub] = 6
+	}
+	if cfg.EnableCorruption {
+		w[OpRotReplica] = 6
+		w[OpRotAll] = 2
 	}
 	return w
 }
@@ -280,6 +303,11 @@ func genOp(r *rand.Rand, cfg Config, st *genState, kind OpKind) Op {
 		}
 	case OpDirtyReboot:
 		op.Flags = RebootFlags(r.Intn(16))
+	case OpRotReplica, OpRotAll:
+		// Rot an existing shard when possible (fresh keys make the op a
+		// no-op); Extent picks the piece within the shard at execution time.
+		op.Key = genKey(r, cfg.Bias, st, false)
+		op.Extent = r.Intn(4)
 	}
 	return op
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"shardstore/internal/coverage"
+	"shardstore/internal/faults"
 	"shardstore/internal/vsync"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	ExtentCount int
 	// Coverage optionally records probe hits.
 	Coverage *coverage.Registry
+	// Faults gates environmental fault injection that must stay inert on
+	// clean runs (currently FaultSilentCorruption for CorruptPage). A nil
+	// set disables all of it.
+	Faults *faults.Set
 }
 
 // DefaultConfig returns the small geometry used throughout the validation
@@ -87,6 +92,7 @@ type Stats struct {
 	BytesWritten uint64
 	Crashes      uint64
 	InjectedErrs uint64
+	SilentRots   uint64
 }
 
 // failMode describes injected failures for one extent.
@@ -322,6 +328,66 @@ func (d *Disk) applyCacheLocked(keep func(PageAddr) bool) (kept, lost []PageAddr
 	d.cache = make(map[PageAddr][]byte)
 	d.cacheOrder = nil
 	return kept, lost
+}
+
+// RotMode selects how CorruptPage mutates a page.
+type RotMode int
+
+const (
+	// RotFlip flips a seed-chosen set of bits in the page (classic bit rot).
+	RotFlip RotMode = iota
+	// RotZero zeroes the whole page (a dropped or unmapped sector).
+	RotZero
+)
+
+func (m RotMode) String() string {
+	switch m {
+	case RotFlip:
+		return "flip"
+	case RotZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("RotMode(%d)", int(m))
+	}
+}
+
+// CorruptPage silently corrupts one durable page: the bytes change but no IO
+// error is ever reported — exactly the failure the chunk-frame CRCs exist to
+// catch. The mutation is deterministic in (mode, seed). It touches only the
+// durable image; a cached (volatile, unsynced) page image is left alone, so a
+// later Sync can legitimately overwrite the rot, like a fresh write to a
+// rotted sector would.
+//
+// The whole mechanism is gated on FaultSilentCorruption: unless that switch
+// is enabled in cfg.Faults, CorruptPage is a no-op returning false, keeping
+// clean runs byte-for-byte identical.
+func (d *Disk) CorruptPage(ext ExtentID, page int, mode RotMode, seed int64) bool {
+	if !d.cfg.Faults.Enabled(faults.FaultSilentCorruption) {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || int(ext) >= d.cfg.ExtentCount || page < 0 || page >= d.cfg.PagesPerExtent {
+		return false
+	}
+	ps := d.cfg.PageSize
+	img := d.durable[ext][page*ps : (page+1)*ps]
+	switch mode {
+	case RotZero:
+		for i := range img {
+			img[i] = 0
+		}
+	default:
+		rng := rand.New(rand.NewSource(seed))
+		// At least one flipped bit; a few more scattered ones for realism.
+		nbits := 1 + rng.Intn(8)
+		for i := 0; i < nbits; i++ {
+			img[rng.Intn(ps)] ^= 1 << uint(rng.Intn(8))
+		}
+	}
+	d.stats.SilentRots++
+	d.cfg.Coverage.Hit("disk.rot")
+	return true
 }
 
 // DirtyPages returns the addresses of cached-but-unsynced pages in write

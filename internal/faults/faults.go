@@ -56,6 +56,22 @@ const (
 	Bug15RefModelLocatorReuse  // harness: reference model reused chunk locators other code assumed unique
 	Bug16BulkCreateRemoveRace  // API: race between control plane bulk create and remove of shards
 
+	// Auxiliary faults. These are not part of the Fig 5 catalog (All and
+	// Lookup do not report them): the first is an environmental switch like
+	// the §4.4 IO-error injection, the second is a seeded scrubber defect
+	// used by the scrub detection experiment.
+
+	// FaultSilentCorruption arms disk-level silent corruption: with it
+	// enabled, Disk.CorruptPage mutates durable page bytes in place (bit rot)
+	// without any IO error. Disabled, CorruptPage is a no-op, so clean runs
+	// are byte-for-byte unaffected by the scrub machinery.
+	FaultSilentCorruption
+
+	// FaultScrubRepairUnverified seeds a scrubber defect: repair copies from
+	// the first replica without re-verifying its frame, so a repair sourced
+	// from a rotted replica spreads the corruption instead of healing it.
+	FaultScrubRepairUnverified
+
 	numBugs
 )
 
@@ -128,6 +144,12 @@ func All() []Info {
 func (b Bug) String() string {
 	if info, ok := catalog[b]; ok {
 		return fmt.Sprintf("bug#%d(%s)", int(b), info.Component)
+	}
+	switch b {
+	case FaultSilentCorruption:
+		return "fault(silent-corruption)"
+	case FaultScrubRepairUnverified:
+		return "fault(scrub-repair-unverified)"
 	}
 	return fmt.Sprintf("bug#%d", int(b))
 }

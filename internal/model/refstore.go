@@ -43,6 +43,17 @@ type RefStore struct {
 	// hasFailed relaxes comparisons after an environmental fault (§4.4).
 	hasFailed bool
 
+	// rotted maps keys whose every replica has been silently corrupted
+	// (k = R) to the mutation seq at injection time. The marker means "a read
+	// error is additionally allowed" — never that one is required: caches and
+	// pending writebacks may still legitimately serve (or re-persist) the
+	// clean bytes. Wrong values stay forbidden; CRC verification must turn
+	// rot into an error, never into different data. A later successful
+	// mutation supersedes the rot for the current view (Rotted), but only a
+	// *persistent* later mutation makes it unreachable by a crash — a torn
+	// reboot can revert the key to its rotted-era entry.
+	rotted map[string]uint64
+
 	// reclaimSinceReboot is the seeded bug #9 trigger: the buggy adoption
 	// path mishandles crash states that follow a reclamation.
 	reclaimSinceReboot bool
@@ -64,7 +75,7 @@ type Mutation struct {
 
 // NewRefStore returns an empty model.
 func NewRefStore(bugs *faults.Set) *RefStore {
-	return &RefStore{bugs: bugs, base: make(map[string][]byte)}
+	return &RefStore{bugs: bugs, base: make(map[string][]byte), rotted: make(map[string]uint64)}
 }
 
 // seq numbers are per-model.
@@ -85,6 +96,46 @@ func (r *RefStore) ApplyPut(key string, value []byte, d *dep.Dependency, maybe b
 func (r *RefStore) ApplyDelete(key string, d *dep.Dependency, maybe bool) {
 	r.seq++
 	r.log = append(r.log, Mutation{Seq: r.seq, Key: key, Value: nil, Dep: d, Maybe: maybe, OpName: "delete"})
+}
+
+// MarkRotted records that every replica of key's data has been silently
+// corrupted (k = R): reads of key are now allowed — not required — to fail.
+func (r *RefStore) MarkRotted(key string) { r.rotted[key] = r.seq }
+
+// Rotted reports whether the current view of key may still be its rotted-era
+// entry: rot was injected and no definite (non-maybe) mutation has superseded
+// it since. A maybe-mutation does not clear it — its effect may never have
+// applied.
+func (r *RefStore) Rotted(key string) bool {
+	rotSeq, ok := r.rotted[key]
+	if !ok {
+		return false
+	}
+	for i := len(r.log) - 1; i >= 0; i-- {
+		m := r.log[i]
+		if m.Key == key && m.Seq > rotSeq && !m.Maybe {
+			return false
+		}
+	}
+	return true
+}
+
+// rotReachableAfterCrash reports whether a crash may surface key's rotted-era
+// entry: rot was injected and no definite mutation issued after it has a
+// persistent dependency. (A later non-persistent Put can be torn away by the
+// crash, reverting the key to its rotted copies.)
+func (r *RefStore) rotReachableAfterCrash(key string) bool {
+	rotSeq, ok := r.rotted[key]
+	if !ok {
+		return false
+	}
+	for i := len(r.log) - 1; i >= 0; i-- {
+		m := r.log[i]
+		if m.Key == key && m.Seq > rotSeq && !m.Maybe && m.Dep.IsPersistent() {
+			return false
+		}
+	}
+	return true
 }
 
 // MarkFailed records that an environmental fault was injected; subsequent
@@ -156,6 +207,13 @@ func (r *RefStore) MustBePresent(key string) ([]byte, bool) {
 func (r *RefStore) CheckRead(key string, got []byte, gotErr bool) error {
 	allowed := r.Expected(key)
 	if gotErr {
+		if r.Rotted(key) {
+			// Every replica was silently corrupted; CRC verification turning
+			// that into a read error is exactly the required behaviour
+			// ("allowed to fail by returning no data, but never ... the
+			// wrong data").
+			return nil
+		}
 		// The harness retries reads past transient injected faults, so an
 		// error that reaches the model is conclusive: the data is gone or
 		// corrupt, which the relaxation of §4.4 never allows ("allowed to
@@ -187,6 +245,30 @@ func (r *RefStore) AdoptDirtyReboot(read func(key string) ([]byte, error)) error
 		allowed := r.allowedAfterCrash(key, bug9)
 		got, err := read(key)
 		if err != nil {
+			if r.rotReachableAfterCrash(key) {
+				// Rot persists on the durable image across reboots; the
+				// recovered store failing this read is allowed. An absent key
+				// reads as not-found, not as an error, so the key is present
+				// but unreadable: keep the marker and adopt an allowed value
+				// so presence checks (listings, phantom detection) still see
+				// it. The value bytes are never observable while the rot
+				// stands — a fresh Put both clears the marker and supersedes
+				// the adopted value.
+				adopted := false
+				for _, v := range allowed {
+					if v != nil {
+						newBase[key] = cloneOrNil(v)
+						adopted = true
+						break
+					}
+				}
+				if adopted {
+					continue
+				}
+				// No allowed value is non-nil: the model says the key must be
+				// gone, yet the implementation holds an unreadable entry for
+				// it. That is a genuine violation, not rot tolerance.
+			}
 			return fmt.Errorf("model: post-crash read of %q failed: %v", key, err)
 		}
 		match := false
@@ -207,6 +289,10 @@ func (r *RefStore) AdoptDirtyReboot(read func(key string) ([]byte, error)) error
 		if got != nil {
 			newBase[key] = cloneOrNil(got)
 		}
+		// A successful post-crash read reflects the durable image directly (no
+		// volatile state survives a crash), and durable state never regresses:
+		// whatever rot the key carried is permanently superseded or gone.
+		delete(r.rotted, key)
 	}
 	r.base = newBase
 	r.log = nil
@@ -285,6 +371,12 @@ func (r *RefStore) CheckCleanShutdown() error {
 			delete(r.base, m.Key)
 		} else {
 			r.base[m.Key] = cloneOrNil(m.Value)
+		}
+		// Every definite mutation is persistent here (checked above), so one
+		// issued after a key's rot permanently supersedes the rotted copies.
+		// Clear the marker before the superseding mutation leaves the log.
+		if rotSeq, ok := r.rotted[m.Key]; ok && m.Seq > rotSeq {
+			delete(r.rotted, m.Key)
 		}
 	}
 	r.log = filterMaybes(r.log)
@@ -380,9 +472,13 @@ func (r *RefStore) Clone() *RefStore {
 		hasFailed:          r.hasFailed,
 		reclaimSinceReboot: r.reclaimSinceReboot,
 		seq:                r.seq,
+		rotted:             make(map[string]uint64, len(r.rotted)),
 	}
 	for k, v := range r.base {
 		out.base[k] = cloneOrNil(v)
+	}
+	for k, s := range r.rotted {
+		out.rotted[k] = s
 	}
 	return out
 }

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"shardstore/internal/store"
 )
@@ -31,16 +32,18 @@ type Op string
 
 // Wire operations.
 const (
-	OpPut        Op = "put"
-	OpGet        Op = "get"
-	OpDelete     Op = "delete"
-	OpList       Op = "list"
-	OpBulkCreate Op = "bulk_create"
-	OpBulkRemove Op = "bulk_remove"
-	OpRemoveDisk Op = "remove_disk"
-	OpReturnDisk Op = "return_disk"
-	OpFlush      Op = "flush"
-	OpStats      Op = "stats"
+	OpPut         Op = "put"
+	OpGet         Op = "get"
+	OpDelete      Op = "delete"
+	OpList        Op = "list"
+	OpBulkCreate  Op = "bulk_create"
+	OpBulkRemove  Op = "bulk_remove"
+	OpRemoveDisk  Op = "remove_disk"
+	OpReturnDisk  Op = "return_disk"
+	OpFlush       Op = "flush"
+	OpStats       Op = "stats"
+	OpScrub       Op = "scrub"        // run one full scrub round on a disk
+	OpScrubStatus Op = "scrub_status" // report a disk's scrubber state
 )
 
 // Request is one wire request.
@@ -55,23 +58,42 @@ type Request struct {
 
 // Response is one wire response.
 type Response struct {
-	OK     bool     `json:"ok"`
-	Err    string   `json:"err,omitempty"`
-	Code   string   `json:"code,omitempty"` // "not_found", "out_of_service", ...
-	Value  []byte   `json:"value,omitempty"`
-	Shards []string `json:"shards,omitempty"`
-	Stats  *Stats   `json:"stats,omitempty"`
+	OK     bool         `json:"ok"`
+	Err    string       `json:"err,omitempty"`
+	Code   string       `json:"code,omitempty"` // "not_found", "out_of_service", ...
+	Value  []byte       `json:"value,omitempty"`
+	Shards []string     `json:"shards,omitempty"`
+	Stats  *Stats       `json:"stats,omitempty"`
+	Scrub  *ScrubStatus `json:"scrub,omitempty"`
+}
+
+// ScrubStatus is one disk's cumulative scrubber state: the integrity
+// counters plus the shards currently recorded as irreparably lost.
+type ScrubStatus struct {
+	Rounds         uint64   `json:"rounds"`
+	KeysScanned    uint64   `json:"keys_scanned"`
+	FramesVerified uint64   `json:"frames_verified"`
+	BytesVerified  uint64   `json:"bytes_verified"`
+	BadReplicas    uint64   `json:"bad_replicas"`
+	Repaired       uint64   `json:"repaired"`
+	RepairFailed   uint64   `json:"repair_failed"`
+	SwapLost       uint64   `json:"swap_lost"`
+	Irreparable    uint64   `json:"irreparable"`
+	LostShards     []string `json:"lost_shards,omitempty"`
 }
 
 // Stats is the aggregate server view.
 type Stats struct {
-	Disks       int      `json:"disks"`
-	Shards      int      `json:"shards"`
-	ShardsPer   []int    `json:"shards_per_disk"`
-	InService   []bool   `json:"in_service"`
-	ChunkPuts   []uint64 `json:"chunk_puts"`
-	Reclaims    []uint64 `json:"reclaims"`
-	GetsPerDisk []uint64 `json:"gets_per_disk"`
+	Disks         int      `json:"disks"`
+	Shards        int      `json:"shards"`
+	ShardsPer     []int    `json:"shards_per_disk"`
+	InService     []bool   `json:"in_service"`
+	ChunkPuts     []uint64 `json:"chunk_puts"`
+	Reclaims      []uint64 `json:"reclaims"`
+	GetsPerDisk   []uint64 `json:"gets_per_disk"`
+	ScrubRounds   []uint64 `json:"scrub_rounds"`
+	ScrubRepaired []uint64 `json:"scrub_repaired"`
+	ScrubLost     []int    `json:"scrub_lost"` // shards per disk with a standing loss verdict
 }
 
 // Error codes.
@@ -319,6 +341,13 @@ func (s *Server) dispatch(req *Request) *Response {
 			return errResponse(err)
 		}
 		return &Response{OK: true}
+	case OpScrub:
+		if _, err := st.ScrubRound(); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Scrub: scrubStatus(st)}
+	case OpScrubStatus:
+		return &Response{OK: true, Scrub: scrubStatus(st)}
 	case OpStats:
 		return &Response{OK: true, Stats: s.stats()}
 	default:
@@ -341,15 +370,38 @@ func (s *Server) stats() *Stats {
 		out.ChunkPuts = append(out.ChunkPuts, cs.Puts)
 		out.Reclaims = append(out.Reclaims, cs.Reclaims)
 		out.GetsPerDisk = append(out.GetsPerDisk, cs.Gets)
+		ss := st.Scrubber().Stats()
+		out.ScrubRounds = append(out.ScrubRounds, ss.Rounds)
+		out.ScrubRepaired = append(out.ScrubRepaired, ss.Repaired)
+		out.ScrubLost = append(out.ScrubLost, len(st.Scrubber().LostKeys()))
 	}
 	return out
+}
+
+// scrubStatus snapshots one store's scrubber state for the wire.
+func scrubStatus(st *store.Store) *ScrubStatus {
+	sc := st.Scrubber()
+	ss := sc.Stats()
+	return &ScrubStatus{
+		Rounds:         ss.Rounds,
+		KeysScanned:    ss.KeysScanned,
+		FramesVerified: ss.FramesVerified,
+		BytesVerified:  ss.BytesVerified,
+		BadReplicas:    ss.BadReplicas,
+		Repaired:       ss.Repaired,
+		RepairFailed:   ss.RepairFailed,
+		SwapLost:       ss.SwapLost,
+		Irreparable:    ss.Irreparable,
+		LostShards:     sc.LostKeys(),
+	}
 }
 
 // Client is a synchronous RPC client. It is safe for concurrent use (calls
 // are serialized over one connection).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
 }
 
 // Dial connects to a server.
@@ -364,10 +416,27 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetTimeout bounds each subsequent call's full round trip (write + read).
+// Zero — the default — disables the deadline. A timed-out call returns a
+// net.Error with Timeout() == true; the connection is left with an unread
+// response in flight, so callers should treat the client as broken and
+// re-dial.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
 // call performs one round trip.
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, err
 	}
@@ -457,6 +526,25 @@ func (c *Client) ReturnDisk(idx int) error {
 func (c *Client) Flush(idx int) error {
 	_, err := c.do(&Request{Op: OpFlush, Disk: idx})
 	return err
+}
+
+// Scrub runs one full integrity-scrub round on disk idx and returns the
+// disk's cumulative scrubber state afterwards.
+func (c *Client) Scrub(idx int) (*ScrubStatus, error) {
+	resp, err := c.do(&Request{Op: OpScrub, Disk: idx})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Scrub, nil
+}
+
+// ScrubStatus reports disk idx's scrubber state without scrubbing.
+func (c *Client) ScrubStatus(idx int) (*ScrubStatus, error) {
+	resp, err := c.do(&Request{Op: OpScrubStatus, Disk: idx})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Scrub, nil
 }
 
 // Stats returns the aggregate server statistics.

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
+	"shardstore/internal/coverage"
+	"shardstore/internal/disk"
 	"shardstore/internal/faults"
 	"shardstore/internal/store"
 )
@@ -235,6 +239,146 @@ func TestConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// newScrubServer builds a one-disk server whose store replicates chunks and
+// whose disk accepts silent-corruption injection, returning the raw store and
+// disk handles for out-of-band rot.
+func newScrubServer(t *testing.T) (*store.Store, *disk.Disk, *Client) {
+	t.Helper()
+	set := faults.NewSet()
+	set.Enable(faults.FaultSilentCorruption)
+	dcfg := disk.DefaultConfig()
+	dcfg.Faults = set
+	st, d, err := store.New(store.Config{
+		Disk:     dcfg,
+		Seed:     1,
+		Bugs:     set,
+		Coverage: coverage.NewRegistry(),
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer([]*store.Store{st})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return st, d, c
+}
+
+func TestScrubOverRPC(t *testing.T) {
+	st, d, c := newScrubServer(t)
+	value := []byte("replicated over the wire")
+	if err := c.Put("wire-shard", value); err != nil {
+		t.Fatal(err)
+	}
+	// Make everything durable so rot on the durable image is observable.
+	if _, err := st.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.FlushSuperblock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Scheduler().Pump(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := st.Index().Get("wire-shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := store.DecodeEntryGroups(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("entry groups = %v, want 1 piece × 2 replicas", groups)
+	}
+	loc := groups[0][0]
+	if !d.CorruptPage(loc.Extent, loc.Offset/d.Config().PageSize, disk.RotZero, 1) {
+		t.Fatalf("CorruptPage(%v) refused", loc)
+	}
+
+	status, err := c.Scrub(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Rounds < 1 || status.BadReplicas < 1 || status.Repaired < 1 {
+		t.Fatalf("scrub status after repair: %+v", status)
+	}
+	if len(status.LostShards) != 0 {
+		t.Fatalf("k < R rot must be repairable, got lost shards %v", status.LostShards)
+	}
+	got, err := c.Get("wire-shard")
+	if err != nil || !bytes.Equal(got, value) {
+		t.Fatalf("get after repair: %q %v", got, err)
+	}
+	status2, err := c.ScrubStatus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status2.Repaired != status.Repaired || status2.Rounds != status.Rounds {
+		t.Fatalf("scrub_status drifted without scrubbing: %+v vs %+v", status2, status)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.ScrubRounds) != 1 || stats.ScrubRounds[0] != status.Rounds || stats.ScrubLost[0] != 0 {
+		t.Fatalf("aggregate scrub stats: %+v", stats)
+	}
+}
+
+// TestClientTimeoutOnStalledServer: a server that accepts the connection but
+// never responds must not hang a client with a per-call timeout configured.
+func TestClientTimeoutOnStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				<-stop // swallow the request, never answer
+			}(conn)
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err = c.Get("never-answered")
+	if err == nil {
+		t.Fatal("call against stalled server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 // CleanShutdown every previously returned dependency reports persistent —
 // the §5 forward-progress property.
 func (s *Store) CleanShutdown() error {
+	s.StopScrub()
 	if _, err := s.idx.Shutdown(); err != nil {
 		return fmt.Errorf("store: shutdown index flush: %w", err)
 	}
@@ -46,6 +47,7 @@ func (s *Store) CleanShutdown() error {
 // is dead afterwards; call Open on the same disk to recover. The returned
 // page lists describe what survived.
 func (s *Store) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
+	s.StopScrub()
 	s.mu.Lock()
 	s.inService = false
 	s.mu.Unlock()
@@ -56,6 +58,7 @@ func (s *Store) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
 // CrashKeep is the deterministic crash used by the exhaustive block-level
 // crash-state enumerator (§5).
 func (s *Store) CrashKeep(keep func(disk.PageAddr) bool) (kept, lost []disk.PageAddr) {
+	s.StopScrub()
 	s.mu.Lock()
 	s.inService = false
 	s.mu.Unlock()
@@ -238,15 +241,20 @@ func (r dataResolver) RelocateChunk(key string, old, newLoc chunk.Locator, newDe
 	if err != nil {
 		return false, nil, nil // entry gone; evacuated copy becomes garbage
 	}
-	locs, err := DecodeEntry(entry)
+	groups, err := DecodeEntryGroups(entry)
 	if err != nil {
 		return false, nil, err
 	}
 	found := false
-	for i := range locs {
-		if locs[i] == old {
-			locs[i] = newLoc
-			found = true
+	for gi := range groups {
+		for ri := range groups[gi] {
+			if groups[gi][ri] == old {
+				groups[gi][ri] = newLoc
+				found = true
+				break
+			}
+		}
+		if found {
 			break
 		}
 	}
@@ -254,7 +262,7 @@ func (r dataResolver) RelocateChunk(key string, old, newLoc chunk.Locator, newDe
 		return false, nil, nil
 	}
 	// The updated index entry must persist only after the evacuated chunk.
-	d, err := s.idx.Put(key, encodeEntry(locs), newDep)
+	d, err := s.idx.Put(key, encodeEntryGroups(groups), newDep)
 	if err != nil {
 		return false, nil, err
 	}

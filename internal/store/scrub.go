@@ -1,0 +1,126 @@
+package store
+
+import (
+	"time"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/dep"
+	"shardstore/internal/disk"
+	"shardstore/internal/scrub"
+)
+
+// --- scrub host: the storage-node surface the integrity scrubber works
+// against (see internal/scrub). Repair reuses the reclamation machinery:
+// PutAvoiding for the pinned write, the data resolver's CAS for the entry
+// swap — so scrub and GC share one ordering discipline and a repair can
+// never resurrect a chunk that reclamation already moved. ---
+
+type scrubHost struct{ s *Store }
+
+func (h scrubHost) LiveKeys() ([]string, error) { return h.s.idx.Keys() }
+
+func (h scrubHost) ReadEntry(key string) ([][]chunk.Locator, error) {
+	entry, err := h.s.idx.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEntryGroups(entry)
+}
+
+// ReadFrame reads the raw frame bytes from the extent manager, bypassing the
+// chunk buffer cache: the scrubber verifies what the media holds, not what a
+// cache remembers from before the rot.
+func (h scrubHost) ReadFrame(loc chunk.Locator) ([]byte, error) {
+	buf := make([]byte, loc.Length)
+	if err := h.s.em.Read(loc.Extent, loc.Offset, loc.Length, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (h scrubHost) WriteRepair(key string, payload []byte, avoid []disk.ExtentID) (chunk.Locator, *dep.Dependency, func(), error) {
+	return h.s.cs.PutAvoiding(chunk.TagData, key, payload, avoid)
+}
+
+func (h scrubHost) SwapReplica(key string, old, newLoc chunk.Locator, d *dep.Dependency) (bool, error) {
+	swapped, _, err := dataResolver{s: h.s}.RelocateChunk(key, old, newLoc, d)
+	return swapped, err
+}
+
+func (h scrubHost) Quarantine(loc chunk.Locator) { h.s.cs.Quarantine(loc) }
+
+var _ scrub.Host = scrubHost{}
+
+// Scrubber returns the node's integrity scrubber.
+func (s *Store) Scrubber() *scrub.Scrubber { return s.scrubber }
+
+// ScrubRound runs one full scrub pass over every live shard: verify all
+// replicas, repair rotted copies from survivors, record irreparable losses.
+func (s *Store) ScrubRound() (scrub.Result, error) {
+	if err := s.requireInService(); err != nil {
+		return scrub.Result{}, err
+	}
+	res, err := s.scrubber.Round()
+	if err == nil {
+		s.cfg.Coverage.Hit("store.scrub_round")
+	}
+	return res, err
+}
+
+// ScrubStep runs one rate-limited scrub increment (at most the configured
+// number of shards), resuming from the previous step's cursor.
+func (s *Store) ScrubStep() (scrub.Result, bool, error) {
+	if err := s.requireInService(); err != nil {
+		return scrub.Result{}, false, err
+	}
+	return s.scrubber.Step()
+}
+
+// StartScrub launches the background scrub loop, one rate-limited ScrubStep
+// per tick. It is idempotent while a loop is running. The loop is a plain
+// goroutine (like cmd/shardstore's maintenance ticker), not a vsync-managed
+// one: deterministic harnesses never start it — they call ScrubRound
+// explicitly, the way they schedule every other background task.
+func (s *Store) StartScrub(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scrubStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.scrubStop, s.scrubDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				_, _, _ = s.ScrubStep()
+			}
+		}
+	}()
+	s.cfg.Coverage.Hit("store.scrub_loop_start")
+}
+
+// StopScrub stops the background scrub loop and waits for it to exit; no
+// repair IO is in flight afterwards. Safe to call when no loop is running.
+// CleanShutdown and Crash stop the loop first, so shutdown flushes and crash
+// teardown never race an in-progress repair.
+func (s *Store) StopScrub() {
+	s.mu.Lock()
+	stop, done := s.scrubStop, s.scrubDone
+	s.scrubStop, s.scrubDone = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

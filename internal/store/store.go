@@ -25,6 +25,7 @@ import (
 	"shardstore/internal/extent"
 	"shardstore/internal/faults"
 	"shardstore/internal/lsm"
+	"shardstore/internal/scrub"
 	"shardstore/internal/vsync"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	// bytes (§2.1: "a single shard comprises one or more chunks depending on
 	// its size"). Zero selects a default of 1.5 pages.
 	MaxChunkPayload int
+	// Replicas writes each data chunk to this many distinct extents
+	// (intra-host redundancy, the raw material scrub repair works with).
+	// Zero or one means a single copy. Replication covers shard data only;
+	// index runs and metadata keep their existing single-copy layout.
+	Replicas int
 	// CacheCapacity is the buffer cache size in chunks.
 	CacheCapacity int
 	// MaxRuns bounds the LSM run list before auto-compaction.
@@ -78,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 32
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
 	return c
 }
 
@@ -86,11 +95,16 @@ type Store struct {
 	mu  vsync.Mutex
 	cfg Config
 
-	d     *disk.Disk
-	sched *dep.Scheduler
-	em    *extent.Manager
-	cs    *chunk.Store
-	idx   *lsm.Tree
+	d        *disk.Disk
+	sched    *dep.Scheduler
+	em       *extent.Manager
+	cs       *chunk.Store
+	idx      *lsm.Tree
+	scrubber *scrub.Scrubber
+
+	// scrubStop/scrubDone manage the background scrub loop (StartScrub).
+	scrubStop chan struct{}
+	scrubDone chan struct{}
 
 	// catalog is the control plane's sorted view of shard ids (bug #13/#16
 	// sites operate on it).
@@ -139,6 +153,7 @@ func Open(d *disk.Disk, cfg Config) (*Store, error) {
 	}
 	cs.RegisterResolver(chunk.TagIndexRun, lsm.RunResolver{Tree: idx})
 	cs.RegisterResolver(chunk.TagData, dataResolver{s: s})
+	s.scrubber = scrub.New(scrubHost{s: s}, scrub.Config{}, cov, bugs)
 	keys, err := idx.Keys()
 	if err != nil {
 		return nil, fmt.Errorf("store: catalog rebuild: %w", err)
@@ -193,8 +208,44 @@ func (s *Store) Reseed(seed int64) {
 	s.cs.Reseed(seed)
 }
 
-// --- index entry encoding: the list of chunk locators for a shard ---
+// --- index entry encoding: the chunk locators for a shard ---
+//
+// Single-copy entries use the legacy flat format `uint16 pieceCount |
+// pieceCount locators` (length ≡ 2 mod 12). Replicated entries record,
+// piece-major, the replica locators of every piece: `uint16 pieceCount |
+// uint16 replicas | pieceCount×replicas locators` (length ≡ 4 mod 12, so the
+// two formats never collide). Piece i's replicas are the i-th group of
+// `replicas` locators; any one decodable replica of each piece reconstructs
+// the piece. Entries self-describe their replication factor, so a disk
+// written with one cfg.Replicas recovers correctly under another.
 
+func encodeEntryGroups(groups [][]chunk.Locator) []byte {
+	replicas := 1
+	for _, g := range groups {
+		if len(g) > replicas {
+			replicas = len(g)
+		}
+	}
+	if replicas == 1 {
+		locs := make([]chunk.Locator, 0, len(groups))
+		for _, g := range groups {
+			locs = append(locs, g...)
+		}
+		return encodeEntry(locs)
+	}
+	buf := make([]byte, 0, 4+len(groups)*replicas*12)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(groups)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(replicas))
+	for _, g := range groups {
+		for _, l := range g {
+			buf = append(buf, chunk.EncodeLocator(l)...)
+		}
+	}
+	return buf
+}
+
+// encodeEntry encodes single-copy locators (one replica per piece) in the
+// legacy flat format.
 func encodeEntry(locs []chunk.Locator) []byte {
 	buf := make([]byte, 0, 2+len(locs)*12)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(locs)))
@@ -204,25 +255,54 @@ func encodeEntry(locs []chunk.Locator) []byte {
 	return buf
 }
 
-// DecodeEntry parses an index entry into chunk locators. Exported for the
-// serialization-robustness property tests (§7).
-func DecodeEntry(buf []byte) ([]chunk.Locator, error) {
+// DecodeEntryGroups parses an index entry into per-piece replica groups.
+// Flat (single-copy) entries decode as one-replica groups.
+func DecodeEntryGroups(buf []byte) ([][]chunk.Locator, error) {
 	if len(buf) < 2 {
 		return nil, fmt.Errorf("%w: short entry", ErrCorruptEntry)
 	}
-	count := int(binary.BigEndian.Uint16(buf[:2]))
+	pieces := int(binary.BigEndian.Uint16(buf[:2]))
+	replicas := 1
 	rest := buf[2:]
-	locs := make([]chunk.Locator, 0, count)
-	for i := 0; i < count; i++ {
-		l, r2, err := chunk.DecodeLocator(rest)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorruptEntry, err)
+	if len(buf)%12 == 4 { // grouped format carries a replica count too
+		replicas = int(binary.BigEndian.Uint16(buf[2:4]))
+		rest = buf[4:]
+		if replicas < 1 {
+			return nil, fmt.Errorf("%w: zero replicas", ErrCorruptEntry)
 		}
-		locs = append(locs, l)
-		rest = r2
 	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptEntry, len(rest))
+	// Size check before allocating: a fuzzed header must not buy a huge slice.
+	if len(rest) != pieces*replicas*12 {
+		return nil, fmt.Errorf("%w: %d bytes for %d×%d locators", ErrCorruptEntry, len(rest), pieces, replicas)
+	}
+	groups := make([][]chunk.Locator, pieces)
+	for i := range groups {
+		g := make([]chunk.Locator, 0, replicas)
+		for r := 0; r < replicas; r++ {
+			l, r2, err := chunk.DecodeLocator(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptEntry, err)
+			}
+			g = append(g, l)
+			rest = r2
+		}
+		groups[i] = g
+	}
+	return groups, nil
+}
+
+// DecodeEntry parses an index entry into the flat list of every locator it
+// references (all replicas of all pieces). Exported for the
+// serialization-robustness property tests (§7); reclamation's reverse lookup
+// uses it too, since a chunk is live if any group references it.
+func DecodeEntry(buf []byte) ([]chunk.Locator, error) {
+	groups, err := DecodeEntryGroups(buf)
+	if err != nil {
+		return nil, err
+	}
+	var locs []chunk.Locator
+	for _, g := range groups {
+		locs = append(locs, g...)
 	}
 	return locs, nil
 }
@@ -235,8 +315,9 @@ func (s *Store) Put(shardID string, data []byte) (*dep.Dependency, error) {
 	if err := s.requireInService(); err != nil {
 		return nil, err
 	}
-	// Chunk the value.
-	var locs []chunk.Locator
+	// Chunk the value; each piece is written cfg.Replicas times, every copy
+	// on a distinct extent, so one rotted extent cannot take out a piece.
+	var groups [][]chunk.Locator
 	var releases []func()
 	dataDep := dep.Resolved()
 	defer func() {
@@ -246,16 +327,25 @@ func (s *Store) Put(shardID string, data []byte) (*dep.Dependency, error) {
 	}()
 	pieces := splitValue(data, s.cfg.MaxChunkPayload)
 	for _, piece := range pieces {
-		loc, d, release, err := s.cs.Put(chunk.TagData, shardID, piece)
-		if err != nil {
-			return nil, err
+		group := make([]chunk.Locator, 0, s.cfg.Replicas)
+		var used []disk.ExtentID
+		for r := 0; r < s.cfg.Replicas; r++ {
+			loc, d, release, err := s.cs.PutAvoiding(chunk.TagData, shardID, piece, used)
+			if err != nil {
+				return nil, err
+			}
+			releases = append(releases, release)
+			group = append(group, loc)
+			used = append(used, loc.Extent)
+			dataDep = dataDep.And(d)
 		}
-		releases = append(releases, release)
-		locs = append(locs, loc)
-		dataDep = dataDep.And(d)
+		groups = append(groups, group)
+	}
+	if s.cfg.Replicas > 1 {
+		s.cfg.Coverage.Hit("store.put.replicated")
 	}
 	// The index entry is ordered after the shard data (Fig 2).
-	idxDep, err := s.idx.Put(shardID, encodeEntry(locs), dataDep)
+	idxDep, err := s.idx.Put(shardID, encodeEntryGroups(groups), dataDep)
 	if err != nil {
 		return nil, err
 	}
@@ -303,11 +393,11 @@ func (s *Store) Get(shardID string) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		locs, err := DecodeEntry(entry)
+		groups, err := DecodeEntryGroups(entry)
 		if err != nil {
 			return nil, err
 		}
-		data, err := s.readChunks(shardID, locs)
+		data, err := s.readChunks(shardID, groups)
 		if err == nil {
 			s.cfg.Coverage.Hit("store.get")
 			return data, nil
@@ -326,19 +416,39 @@ func (s *Store) Get(shardID string) ([]byte, error) {
 }
 
 // readChunks fetches and validates the shard's chunks, invalidating the
-// cache entries of mismatching locators so a retry re-reads from disk.
-func (s *Store) readChunks(shardID string, locs []chunk.Locator) ([]byte, error) {
+// cache entries of mismatching locators so a retry re-reads from disk. Each
+// piece needs only one healthy replica: replicas are tried in entry order and
+// the first one that decodes with the right owner wins, so k < R rotted (or
+// quarantined) copies leave the shard readable.
+func (s *Store) readChunks(shardID string, groups [][]chunk.Locator) ([]byte, error) {
+	bug11 := s.bugs().Enabled(faults.Bug11WriteFlushRace)
 	var data []byte
-	for _, loc := range locs {
-		payload, owner, err := s.cs.GetWithKey(loc)
-		if err != nil {
-			s.cs.InvalidateCached(loc)
-			return nil, err
+	for _, group := range groups {
+		var payload []byte
+		var lastErr error
+		ok := false
+		for ri, loc := range group {
+			p, owner, err := s.cs.GetWithKey(loc)
+			if err != nil {
+				s.cs.InvalidateCached(loc)
+				lastErr = err
+				continue
+			}
+			if owner != shardID && !bug11 {
+				s.cs.InvalidateCached(loc)
+				s.cfg.Coverage.Hit("store.get.key_mismatch")
+				lastErr = fmt.Errorf("store: locator %v owned by %q, want %q", loc, owner, shardID)
+				continue
+			}
+			if ri > 0 {
+				s.cfg.Coverage.Hit("store.get.replica_fallback")
+			}
+			payload = p
+			ok = true
+			break
 		}
-		if owner != shardID && !s.bugs().Enabled(faults.Bug11WriteFlushRace) {
-			s.cs.InvalidateCached(loc)
-			s.cfg.Coverage.Hit("store.get.key_mismatch")
-			return nil, fmt.Errorf("store: locator %v owned by %q, want %q", loc, owner, shardID)
+		if !ok {
+			return nil, lastErr
 		}
 		data = append(data, payload...)
 	}

@@ -12,6 +12,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -21,7 +29,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (core, coverage, vsync)"
-go test -race -timeout 600s ./internal/core/... ./internal/coverage/... ./internal/vsync/...
+echo "== go test -race (core, coverage, vsync, scrub)"
+go test -race -timeout 600s ./internal/core/... ./internal/coverage/... ./internal/vsync/... ./internal/scrub/...
 
 echo "CI PASS"

@@ -16,6 +16,7 @@
 //	shardstore -connect 127.0.0.1:7420 del  shard-1
 //	shardstore -connect 127.0.0.1:7420 list
 //	shardstore -connect 127.0.0.1:7420 stats
+//	shardstore -connect 127.0.0.1:7420 metrics
 //
 // Check (exit status 1 if a violation is found):
 //
@@ -29,8 +30,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on the -pprof listener
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,6 +42,7 @@ import (
 	"time"
 
 	"shardstore/internal/core"
+	"shardstore/internal/obs"
 	"shardstore/internal/rpc"
 	"shardstore/internal/store"
 )
@@ -49,6 +54,7 @@ func main() {
 	maintenance := flag.Duration("maintenance", 250*time.Millisecond, "background maintenance interval")
 	scrubInterval := flag.Duration("scrub-interval", time.Second, "background integrity-scrub step interval (0 disables)")
 	replicas := flag.Int("replicas", 1, "replicas per chunk within each disk (intra-host redundancy)")
+	pprofAddr := flag.String("pprof", "", "serve pprof + JSON /metrics on this address (server mode, opt-in)")
 	check := flag.Bool("check", false, "run the conformance check against this build and exit")
 	cases := flag.Int("cases", 2000, "check mode: number of random op sequences")
 	ops := flag.Int("ops", 40, "check mode: operations per sequence")
@@ -60,7 +66,7 @@ func main() {
 	case *check:
 		runCheck(*cases, *ops, *seed, *parallel)
 	case *listen != "":
-		runServer(*listen, *disks, *maintenance, *scrubInterval, *replicas)
+		runServer(*listen, *disks, *maintenance, *scrubInterval, *replicas, *pprofAddr)
 	case *connect != "":
 		runClient(*connect, flag.Args())
 	default:
@@ -111,13 +117,20 @@ func runCheck(cases, ops int, seed int64, parallel int) {
 		fmt.Printf("  %2d. %s\n", i, op)
 	}
 	fmt.Printf("shardstore: minimized violation: %v\n", f.MinimizedErr)
+	if trace := f.FormatTrace(); trace != "" {
+		fmt.Printf("shardstore: execution trace of the minimized replay:\n%s", trace)
+	}
 	os.Exit(1)
 }
 
-func runServer(addr string, disks int, maintenance, scrubInterval time.Duration, replicas int) {
+func runServer(addr string, disks int, maintenance, scrubInterval time.Duration, replicas int, pprofAddr string) {
+	// One node-wide registry on the wall clock: every store, disk, cache, and
+	// the rpc layer record into it, so the metrics op (and the optional JSON
+	// /metrics endpoint) see the whole node in one snapshot.
+	nodeObs := obs.New(obs.NewWallClock())
 	var stores []*store.Store
 	for i := 0; i < disks; i++ {
-		cfg := store.Config{Seed: int64(i + 1)}
+		cfg := store.Config{Seed: int64(i + 1), Obs: nodeObs}
 		// Production-ish geometry: 4 KiB pages, 1 MiB extents, 64 extents.
 		cfg.Disk.PageSize = 4096
 		cfg.Disk.PagesPerExtent = 256
@@ -157,13 +170,30 @@ func runServer(addr string, disks int, maintenance, scrubInterval time.Duration,
 		}
 	}()
 
-	srv := rpc.NewServer(stores)
+	srv := rpc.NewServer(stores, nodeObs)
 	bound, err := srv.Serve(addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("shardstore: serving %d disks on %s\n", disks, bound)
+
+	if pprofAddr != "" {
+		// net/http/pprof registered its handlers on the default mux; add the
+		// metrics snapshot next to them and serve both on the side listener.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(nodeObs.Snapshot())
+		})
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("shardstore: pprof + /metrics on http://%s\n", pprofAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -180,7 +210,7 @@ func runServer(addr string, disks int, maintenance, scrubInterval time.Duration,
 
 func runClient(addr string, args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | list | stats | flush <disk> | scrub <disk> | scrub-status <disk>")
+		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | list | stats | metrics | flush <disk> | scrub <disk> | scrub-status <disk>")
 		os.Exit(2)
 	}
 	c, err := rpc.Dial(addr)
@@ -227,6 +257,10 @@ func runClient(addr string, args []string) {
 		fail(err)
 		fmt.Printf("disks=%d shards=%d per-disk=%v in-service=%v scrub-rounds=%v scrub-repaired=%v scrub-lost=%v\n",
 			s.Disks, s.Shards, s.ShardsPer, s.InService, s.ScrubRounds, s.ScrubRepaired, s.ScrubLost)
+	case "metrics":
+		snap, err := c.Metrics()
+		fail(err)
+		fmt.Print(obs.FormatSnapshot(*snap, obs.UnitNanos))
 	case "flush":
 		var d int
 		if len(args) == 2 {

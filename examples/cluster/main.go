@@ -12,15 +12,21 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"sort"
 
 	"shardstore/internal/disk"
 	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 	"shardstore/internal/rpc"
 	"shardstore/internal/store"
 )
 
 func main() {
 	const disks = 4
+	// One node-wide registry on the logical clock: every metric below —
+	// including the latency quantiles — is a deterministic function of the
+	// workload, so this example's output is stable run to run.
+	nodeObs := obs.New(nil)
 	var stores []*store.Store
 	var devs []*disk.Disk
 	for i := 0; i < disks; i++ {
@@ -31,14 +37,14 @@ func main() {
 		set.Enable(faults.FaultSilentCorruption)
 		dcfg := disk.DefaultConfig()
 		dcfg.Faults = set
-		st, d, err := store.New(store.Config{Seed: int64(i + 1), Bugs: set, Disk: dcfg, Replicas: 2})
+		st, d, err := store.New(store.Config{Seed: int64(i + 1), Bugs: set, Disk: dcfg, Replicas: 2, Obs: nodeObs})
 		if err != nil {
 			log.Fatal(err)
 		}
 		stores = append(stores, st)
 		devs = append(devs, d)
 	}
-	srv := rpc.NewServer(stores)
+	srv := rpc.NewServer(stores, nodeObs)
 	addr, err := srv.Serve("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -136,11 +142,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Verify every shard.
+	// Verify every shard, in sorted order so the cache hit/miss pattern (and
+	// therefore the metrics table below) is identical on every run.
+	ids := make([]string, 0, len(values))
+	for id := range values {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	lost := 0
-	for id, want := range values {
+	for _, id := range ids {
 		got, err := c.Get(id)
-		if err != nil || !bytes.Equal(got, want) {
+		if err != nil || !bytes.Equal(got, values[id]) {
 			fmt.Printf("  LOST %s: %v\n", id, err)
 			lost++
 		}
@@ -149,8 +161,8 @@ func main() {
 		fmt.Printf("all %d shards intact after the service cycle\n", len(values))
 	}
 
-	ids, _ := c.List()
-	fmt.Printf("control-plane listing sees %d shards (incl. repair-b)\n", len(ids))
+	listed, _ := c.List()
+	fmt.Printf("control-plane listing sees %d shards (incl. repair-b)\n", len(listed))
 
 	// Flush all disks to durability before shutdown.
 	for i := 0; i < disks; i++ {
@@ -159,4 +171,25 @@ func main() {
 		}
 	}
 	fmt.Println("flushed; done")
+
+	// End-of-run observability: one merged snapshot of the whole node. On the
+	// logical clock every figure here — counts and tick quantiles alike — is
+	// deterministic.
+	snap, err := c.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hitRate := 0.0
+	if total := snap.Counters["cache.hits"] + snap.Counters["cache.misses"]; total > 0 {
+		hitRate = 100 * float64(snap.Counters["cache.hits"]) / float64(total)
+	}
+	put, get := snap.Histograms["store.put_lat"], snap.Histograms["store.get_lat"]
+	fmt.Println("node metrics (ticks are logical-clock units):")
+	fmt.Printf("  %-22s %8d\n", "store puts", snap.Counters["store.puts"])
+	fmt.Printf("  %-22s %8d\n", "store gets", snap.Counters["store.gets"])
+	fmt.Printf("  %-22s %8d\n", "store deletes", snap.Counters["store.deletes"])
+	fmt.Printf("  %-22s %8d / %d ticks\n", "put latency p50/p99", put.Quantile(0.50), put.Quantile(0.99))
+	fmt.Printf("  %-22s %8d / %d ticks\n", "get latency p50/p99", get.Quantile(0.50), get.Quantile(0.99))
+	fmt.Printf("  %-22s %7.1f%%\n", "cache hit rate", hitRate)
+	fmt.Printf("  %-22s %8d\n", "scrub repairs", snap.Counters["scrub.repaired"])
 }

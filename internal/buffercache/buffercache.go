@@ -11,8 +11,11 @@
 package buffercache
 
 import (
+	"fmt"
+
 	"shardstore/internal/coverage"
 	"shardstore/internal/disk"
+	"shardstore/internal/obs"
 	"shardstore/internal/vsync"
 )
 
@@ -22,13 +25,24 @@ type Key struct {
 	Offset int
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. It is a thin snapshot of the cache's obs
+// registry counters; the cache keeps no counter state of its own.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Inserts   uint64
 	Evictions uint64
 	Drains    uint64
+}
+
+// cacheMetrics holds the obs handles, resolved once at construction.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	inserts   *obs.Counter
+	evictions *obs.Counter
+	drains    *obs.Counter
+	entries   *obs.Gauge
 }
 
 type entry struct {
@@ -44,20 +58,34 @@ type entry struct {
 type Cache struct {
 	mu       vsync.Mutex
 	cov      *coverage.Registry
+	obs      *obs.Obs
+	met      cacheMetrics
 	capacity int
 	entries  map[Key]*entry
 	head     *entry // most recently used
 	tail     *entry // least recently used
-	stats    Stats
 }
 
 // New creates a cache holding up to capacity chunks. Capacity 0 disables
-// caching entirely (every lookup misses).
-func New(capacity int, cov *coverage.Registry) *Cache {
+// caching entirely (every lookup misses). A nil o gives the cache a private
+// registry so Stats keeps working standalone.
+func New(capacity int, cov *coverage.Registry, o *obs.Obs) *Cache {
+	if o == nil {
+		o = obs.New(nil)
+	}
 	return &Cache{
 		cov:      cov,
+		obs:      o,
 		capacity: capacity,
 		entries:  make(map[Key]*entry),
+		met: cacheMetrics{
+			hits:      o.Counter("cache.hits"),
+			misses:    o.Counter("cache.misses"),
+			inserts:   o.Counter("cache.inserts"),
+			evictions: o.Counter("cache.evictions"),
+			drains:    o.Counter("cache.drains"),
+			entries:   o.Gauge("cache.entries"),
+		},
 	}
 }
 
@@ -68,11 +96,11 @@ func (c *Cache) Get(k Key) ([]byte, string) {
 	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
-		c.stats.Misses++
+		c.met.misses.Inc()
 		c.cov.Hit("cache.miss")
 		return nil, ""
 	}
-	c.stats.Hits++
+	c.met.hits.Inc()
 	c.cov.Hit("cache.hit")
 	c.moveToFrontLocked(e)
 	return e.data, e.ownerKey
@@ -95,14 +123,15 @@ func (c *Cache) Insert(k Key, ownerKey string, data []byte) {
 	e := &entry{key: k, ownerKey: ownerKey, data: append([]byte(nil), data...)}
 	c.entries[k] = e
 	c.pushFrontLocked(e)
-	c.stats.Inserts++
+	c.met.inserts.Inc()
 	for len(c.entries) > c.capacity {
 		lru := c.tail
 		c.removeLocked(lru)
 		delete(c.entries, lru.key)
-		c.stats.Evictions++
+		c.met.evictions.Inc()
 		c.cov.Hit("cache.evict")
 	}
+	c.met.entries.Set(int64(len(c.entries)))
 }
 
 // Invalidate removes the entry for k, if any.
@@ -112,6 +141,7 @@ func (c *Cache) Invalidate(k Key) {
 	if e, ok := c.entries[k]; ok {
 		c.removeLocked(e)
 		delete(c.entries, k)
+		c.met.entries.Set(int64(len(c.entries)))
 	}
 }
 
@@ -121,13 +151,17 @@ func (c *Cache) Invalidate(k Key) {
 func (c *Cache) DrainExtent(ext disk.ExtentID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Drains++
+	c.met.drains.Inc()
 	c.cov.Hit("cache.drain")
 	for k, e := range c.entries {
 		if k.Extent == ext {
 			c.removeLocked(e)
 			delete(c.entries, k)
 		}
+	}
+	c.met.entries.Set(int64(len(c.entries)))
+	if c.obs.Tracing() {
+		c.obs.Record("cache", "drain_extent", fmt.Sprintf("e%d", ext), "ok", 0)
 	}
 }
 
@@ -137,6 +171,7 @@ func (c *Cache) DrainAll() {
 	defer c.mu.Unlock()
 	c.entries = make(map[Key]*entry)
 	c.head, c.tail = nil, nil
+	c.met.entries.Set(0)
 }
 
 // Len returns the number of cached chunks.
@@ -146,11 +181,15 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters (reading the obs registry).
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Hits:      c.met.hits.Value(),
+		Misses:    c.met.misses.Value(),
+		Inserts:   c.met.inserts.Value(),
+		Evictions: c.met.evictions.Value(),
+		Drains:    c.met.drains.Value(),
+	}
 }
 
 func (c *Cache) pushFrontLocked(e *entry) {

@@ -9,6 +9,7 @@ import (
 	"shardstore/internal/dep"
 	"shardstore/internal/disk"
 	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 )
 
 // TestHookGarbageRun, when non-nil, observes every index-run chunk dropped
@@ -43,6 +44,7 @@ type candidate struct {
 //     crash can be "successfully" decoded from stale bytes (§5's example).
 func (s *Store) Reclaim(victim disk.ExtentID) error {
 	ps := s.pageSize()
+	start := s.obs.Now()
 
 	s.mu.Lock()
 	if int(victim) == s.active || s.pins[victim] > 0 || s.reclaiming[victim] {
@@ -50,16 +52,23 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 		return fmt.Errorf("%w: extent %d", ErrBusy, victim)
 	}
 	s.reclaiming[victim] = true
-	s.stats.Reclaims++
 	s.mu.Unlock()
+	s.met.reclaims.Inc()
+	if s.obs.Tracing() {
+		s.obs.Record("chunk", "reclaim_begin", fmt.Sprintf("e%d", victim), "ok", 0)
+	}
 
 	finish := func(err error) error {
 		s.mu.Lock()
 		delete(s.reclaiming, victim)
-		if err != nil {
-			s.stats.ReclaimAborts++
-		}
 		s.mu.Unlock()
+		if err != nil {
+			s.met.reclaimAborts.Inc()
+		}
+		s.met.reclaimDur.Observe(s.obs.Now() - start)
+		if s.obs.Tracing() {
+			s.obs.Record("chunk", "reclaim_end", fmt.Sprintf("e%d", victim), obs.Outcome(err), s.obs.Now()-start)
+		}
 		return err
 	}
 
@@ -105,9 +114,7 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 			return finish(fmt.Errorf("%w: tag %v", ErrNoResolver, c.tag))
 		}
 		if !resolver.ChunkLive(c.key, c.loc) {
-			s.mu.Lock()
-			s.stats.GarbageDropped++
-			s.mu.Unlock()
+			s.met.garbageDropped.Inc()
 			s.cov.Hit("chunk.reclaim.garbage")
 			if c.tag == TagIndexRun {
 				s.cov.Hit("chunk.reclaim.garbage_run")
@@ -133,10 +140,8 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 			s.cov.Hit("chunk.reclaim.relocate_lost_race")
 			continue
 		}
-		s.mu.Lock()
-		s.stats.Evacuated++
-		s.stats.BytesEvacuated += uint64(len(c.payload))
-		s.mu.Unlock()
+		s.met.evacuated.Inc()
+		s.met.bytesEvacuated.Add(uint64(len(c.payload)))
 		s.cov.Hit("chunk.reclaim.evacuated")
 		resetWaits = append(resetWaits, dep.All(newDep, rdep))
 		// Invalidate the old location so stale cached data cannot outlive
@@ -201,9 +206,9 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 		s.cache.DrainExtent(victim)
 	}
 	s.mu.Lock()
-	s.stats.ExtentsRecycled++
 	s.clearQuarantineLocked(victim)
 	s.mu.Unlock()
+	s.met.extentsRecycled.Inc()
 	s.cov.Hit("chunk.reclaim.reset")
 	return finish(nil)
 }
@@ -238,9 +243,7 @@ func (s *Store) scanForFrames(buf []byte, ptr, ps int, unreadable map[int]bool, 
 			_, key, payload, err = DecodeFrame(buf[off : off+flen])
 		}
 		if err != nil {
-			s.mu.Lock()
-			s.stats.CorruptSkipped++
-			s.mu.Unlock()
+			s.met.corruptSkipped.Inc()
 			s.cov.Hit("chunk.scan.corrupt_skipped")
 			continue
 		}

@@ -17,6 +17,7 @@ import (
 	"shardstore/internal/disk"
 	"shardstore/internal/extent"
 	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 	"shardstore/internal/vsync"
 )
 
@@ -78,9 +79,14 @@ type Config struct {
 	// a cache so large that tests never reached the miss path — is
 	// reproduced by tuning this.
 	CacheCapacity int
+	// Obs is the observability registry for metrics and tracing. Nil gives
+	// the store (and its buffer cache) a private registry so Stats keeps
+	// working standalone.
+	Obs *obs.Obs
 }
 
-// Stats counts chunk store activity.
+// Stats counts chunk store activity. It is a thin snapshot of the store's
+// obs registry counters.
 type Stats struct {
 	Puts            uint64
 	Gets            uint64
@@ -95,6 +101,44 @@ type Stats struct {
 	Quarantined     uint64
 }
 
+// chunkMetrics holds the obs handles, resolved once at construction so the
+// hot paths never touch the registry map.
+type chunkMetrics struct {
+	puts            *obs.Counter
+	gets            *obs.Counter
+	getErrors       *obs.Counter
+	reclaims        *obs.Counter
+	reclaimAborts   *obs.Counter
+	evacuated       *obs.Counter
+	garbageDropped  *obs.Counter
+	corruptSkipped  *obs.Counter
+	bytesEvacuated  *obs.Counter
+	extentsRecycled *obs.Counter
+	quarantined     *obs.Counter
+	putLat          *obs.Histogram
+	getLat          *obs.Histogram
+	reclaimDur      *obs.Histogram
+}
+
+func newChunkMetrics(o *obs.Obs) chunkMetrics {
+	return chunkMetrics{
+		puts:            o.Counter("chunk.puts"),
+		gets:            o.Counter("chunk.gets"),
+		getErrors:       o.Counter("chunk.get_errors"),
+		reclaims:        o.Counter("chunk.reclaims"),
+		reclaimAborts:   o.Counter("chunk.reclaim_aborts"),
+		evacuated:       o.Counter("chunk.evacuated"),
+		garbageDropped:  o.Counter("chunk.garbage_dropped"),
+		corruptSkipped:  o.Counter("chunk.corrupt_skipped"),
+		bytesEvacuated:  o.Counter("chunk.bytes_evacuated"),
+		extentsRecycled: o.Counter("chunk.extents_recycled"),
+		quarantined:     o.Counter("chunk.quarantined"),
+		putLat:          o.Histogram("chunk.put_lat"),
+		getLat:          o.Histogram("chunk.get_lat"),
+		reclaimDur:      o.Histogram("chunk.reclaim_dur"),
+	}
+}
+
 // Store is the chunk store for one disk.
 type Store struct {
 	mu   vsync.Mutex
@@ -102,6 +146,8 @@ type Store struct {
 	cov  *coverage.Registry
 	bugs *faults.Set
 	cfg  Config
+	obs  *obs.Obs
+	met  chunkMetrics
 
 	cache *buffercache.Cache
 	rng   *rand.Rand
@@ -119,18 +165,23 @@ type Store struct {
 	quarantined map[Locator]bool
 
 	resolvers map[Tag]Resolver
-	stats     Stats
 }
 
 // NewStore creates a chunk store over em. seed drives internal randomness
 // (UUID generation, victim selection) deterministically.
 func NewStore(em *extent.Manager, cfg Config, seed int64, cov *coverage.Registry, bugs *faults.Set) *Store {
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(nil)
+	}
 	s := &Store{
 		em:          em,
 		cov:         cov,
 		bugs:        bugs,
 		cfg:         cfg,
-		cache:       buffercache.New(cfg.CacheCapacity, cov),
+		obs:         o,
+		met:         newChunkMetrics(o),
+		cache:       buffercache.New(cfg.CacheCapacity, cov, o),
 		rng:         rand.New(rand.NewSource(seed)),
 		active:      -1,
 		pins:        make(map[disk.ExtentID]int),
@@ -157,12 +208,25 @@ func (s *Store) Reseed(seed int64) {
 	s.rng = rand.New(rand.NewSource(seed))
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters (reading the obs registry).
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Puts:            s.met.puts.Value(),
+		Gets:            s.met.gets.Value(),
+		GetErrors:       s.met.getErrors.Value(),
+		Reclaims:        s.met.reclaims.Value(),
+		ReclaimAborts:   s.met.reclaimAborts.Value(),
+		Evacuated:       s.met.evacuated.Value(),
+		GarbageDropped:  s.met.garbageDropped.Value(),
+		CorruptSkipped:  s.met.corruptSkipped.Value(),
+		BytesEvacuated:  s.met.bytesEvacuated.Value(),
+		ExtentsRecycled: s.met.extentsRecycled.Value(),
+		Quarantined:     s.met.quarantined.Value(),
+	}
 }
+
+// Obs exposes the store's observability registry.
+func (s *Store) Obs() *obs.Obs { return s.obs }
 
 // Cache exposes the buffer cache (for stats and harness drains).
 func (s *Store) Cache() *buffercache.Cache { return s.cache }
@@ -285,6 +349,7 @@ func (s *Store) PutAvoiding(tag Tag, key string, payload []byte, avoid []disk.Ex
 // placement policy used by reclamation, avoid excludes extents from
 // placement (replica spreading).
 func (s *Store) put(tag Tag, key string, payload []byte, forEvacuation bool, avoid map[disk.ExtentID]bool, waits ...*dep.Dependency) (Locator, *dep.Dependency, func(), error) {
+	start := s.obs.Now()
 	uuid := s.newUUID()
 	frame, err := EncodeFrame(tag, key, payload, uuid)
 	if err != nil {
@@ -308,9 +373,13 @@ func (s *Store) put(tag Tag, key string, payload []byte, forEvacuation bool, avo
 		return Locator{}, nil, nil, err
 	}
 	s.pins[ext]++
-	s.stats.Puts++
 	loc := Locator{Extent: ext, Offset: off, Length: flen}
 	s.mu.Unlock()
+	s.met.puts.Inc()
+	s.met.putLat.Observe(s.obs.Now() - start)
+	if s.obs.Tracing() {
+		s.obs.Record("chunk", "put", loc.String(), "ok", s.obs.Now()-start)
+	}
 
 	released := false
 	release := func() {
@@ -335,39 +404,41 @@ func (s *Store) Get(loc Locator) ([]byte, error) {
 // the owning key so callers can validate that a locator still names the
 // chunk they meant (the bug #11 guard in the store layer).
 func (s *Store) GetWithKey(loc Locator) ([]byte, string, error) {
+	start := s.obs.Now()
+	payload, key, err := s.getWithKey(loc)
+	if err != nil {
+		s.met.getErrors.Inc()
+	} else {
+		s.met.gets.Inc()
+		s.met.getLat.Observe(s.obs.Now() - start)
+	}
+	if s.obs.Tracing() {
+		s.obs.Record("chunk", "get", loc.String(), obs.Outcome(err), s.obs.Now()-start)
+	}
+	return payload, key, err
+}
+
+func (s *Store) getWithKey(loc Locator) ([]byte, string, error) {
 	s.mu.Lock()
 	if s.quarantined[loc] {
-		s.stats.GetErrors++
 		s.mu.Unlock()
 		s.cov.Hit("chunk.get.quarantined")
 		return nil, "", fmt.Errorf("%w: %v", ErrQuarantined, loc)
 	}
 	s.mu.Unlock()
 	if cached, owner := s.cache.Get(loc.cacheKey()); cached != nil {
-		s.mu.Lock()
-		s.stats.Gets++
-		s.mu.Unlock()
 		return append([]byte(nil), cached...), owner, nil
 	}
 	buf := make([]byte, loc.Length)
 	if err := s.em.Read(loc.Extent, loc.Offset, loc.Length, buf); err != nil {
-		s.mu.Lock()
-		s.stats.GetErrors++
-		s.mu.Unlock()
 		return nil, "", fmt.Errorf("chunk: read %v: %w", loc, err)
 	}
 	_, key, payload, err := DecodeFrame(buf)
 	if err != nil {
-		s.mu.Lock()
-		s.stats.GetErrors++
-		s.mu.Unlock()
 		s.cov.Hit("chunk.get.corrupt")
 		return nil, "", fmt.Errorf("chunk: decode %v: %w", loc, err)
 	}
 	s.cache.Insert(loc.cacheKey(), key, payload)
-	s.mu.Lock()
-	s.stats.Gets++
-	s.mu.Unlock()
 	return append([]byte(nil), payload...), key, nil
 }
 
@@ -388,8 +459,11 @@ func (s *Store) Quarantine(loc Locator) {
 	defer s.mu.Unlock()
 	if !s.quarantined[loc] {
 		s.quarantined[loc] = true
-		s.stats.Quarantined++
+		s.met.quarantined.Inc()
 		s.cov.Hit("chunk.quarantine")
+		if s.obs.Tracing() {
+			s.obs.Record("chunk", "quarantine", loc.String(), "ok", 0)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"shardstore/internal/extent"
 	"shardstore/internal/faults"
 	"shardstore/internal/model"
+	"shardstore/internal/obs"
 	"shardstore/internal/prop"
 	"shardstore/internal/store"
 )
@@ -119,6 +120,21 @@ type Failure struct {
 	// MinimizedErr is the violation the minimized sequence produces (it may
 	// differ in wording from Err while exposing the same bug).
 	MinimizedErr error
+	// Trace is the node's execution trail for the minimized sequence: after
+	// minimization the harness replays it once more with a trace ring
+	// attached, so the counterexample ships with the IO it actually issued.
+	// TraceTruncated counts earlier events the ring overwrote.
+	Trace          []obs.Event
+	TraceTruncated uint64
+}
+
+// FormatTrace renders the failure's trace (empty string when none was
+// captured).
+func (f *Failure) FormatTrace() string {
+	if f == nil || len(f.Trace) == 0 {
+		return ""
+	}
+	return obs.FormatTrace(f.Trace, f.TraceTruncated)
 }
 
 // Result summarizes a conformance run.
@@ -181,6 +197,14 @@ func Run(cfg Config) Result {
 				f.MinimizedErr = merr
 			}
 		}
+		// Replay the minimized counterexample once more with a trace ring
+		// attached so the report carries the node's actual execution trail.
+		// Observability is verdict-transparent (the determinism gate enforces
+		// it), so this replay reproduces the same violation.
+		tcfg := cfg
+		tcfg.StoreConfig.Obs = obs.New(nil).WithTrace(obs.DefaultRingEvents)
+		RunSeq(f.Minimized, tcfg)
+		f.Trace, f.TraceTruncated = tcfg.StoreConfig.Obs.TraceRing().Dump()
 		res.Failure = f
 	}
 	return res
@@ -222,30 +246,49 @@ func RunSeq(seq []Op, cfg Config) (int, int, error) {
 // uses this for early exit — once a lower-index case has failed, in-flight
 // higher-index cases cannot affect the Result and are cut short.
 func RunSeqCtx(ctx context.Context, seq []Op, cfg Config) (int, int, error) {
+	ops, crashes, _, err := runSeqDisk(ctx, seq, cfg)
+	return ops, crashes, err
+}
+
+// RunSeqDisk is RunSeq but additionally returns the disk the sequence ran
+// against, so callers (e.g. the observability determinism gate) can compare
+// final durable images across runs.
+func RunSeqDisk(seq []Op, cfg Config) (int, int, *disk.Disk, error) {
+	return runSeqDisk(context.Background(), seq, cfg)
+}
+
+func runSeqDisk(ctx context.Context, seq []Op, cfg Config) (int, int, *disk.Disk, error) {
 	cfg = cfg.withDefaults()
 	st, d, err := store.New(cfg.StoreConfig)
 	if err != nil {
-		return 0, 0, fmt.Errorf("harness: store setup: %w", err)
+		return 0, 0, nil, fmt.Errorf("harness: store setup: %w", err)
 	}
 	es := &execState{cfg: cfg, d: d, st: st, ref: model.NewRefStore(cfg.StoreConfig.Bugs), inService: true}
+	tracer := cfg.StoreConfig.Obs
 	for i, op := range seq {
 		if cerr := ctx.Err(); cerr != nil {
-			return es.opsRun, es.crashes, fmt.Errorf("%w: %w", errCaseCancelled, cerr)
+			return es.opsRun, es.crashes, es.d, fmt.Errorf("%w: %w", errCaseCancelled, cerr)
 		}
 		if err := es.apply(op); err != nil {
-			return es.opsRun, es.crashes, fmt.Errorf("op %d %s: %w", i, op, err)
+			if tracer.Tracing() {
+				tracer.Record("harness", "op", op.String(), obs.Outcome(err), 0)
+			}
+			return es.opsRun, es.crashes, es.d, fmt.Errorf("op %d %s: %w", i, op, err)
+		}
+		if tracer.Tracing() {
+			tracer.Record("harness", "op", op.String(), "ok", 0)
 		}
 		es.opsRun++
 		if cfg.InvariantEvery > 0 && (i+1)%cfg.InvariantEvery == 0 {
 			if err := es.checkInvariants(); err != nil {
-				return es.opsRun, es.crashes, fmt.Errorf("after op %d %s: %w", i, op, err)
+				return es.opsRun, es.crashes, es.d, fmt.Errorf("after op %d %s: %w", i, op, err)
 			}
 		}
 	}
 	if err := es.checkInvariants(); err != nil {
-		return es.opsRun, es.crashes, fmt.Errorf("final check: %w", err)
+		return es.opsRun, es.crashes, es.d, fmt.Errorf("final check: %w", err)
 	}
-	return es.opsRun, es.crashes, nil
+	return es.opsRun, es.crashes, es.d, nil
 }
 
 // reopen recovers a store on the disk, retrying a few times because a

@@ -25,6 +25,7 @@ import (
 
 	"shardstore/internal/coverage"
 	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 	"shardstore/internal/vsync"
 )
 
@@ -64,6 +65,9 @@ type Config struct {
 	// clean runs (currently FaultSilentCorruption for CorruptPage). A nil
 	// set disables all of it.
 	Faults *faults.Set
+	// Obs is the observability layer (metrics + optional tracing). A nil Obs
+	// gives the disk a private registry so Stats keeps working standalone.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the small geometry used throughout the validation
@@ -83,7 +87,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats counts disk activity.
+// Stats counts disk activity. It is a thin snapshot of the disk's obs
+// registry counters (see internal/obs); the disk keeps no counter state of
+// its own.
 type Stats struct {
 	Reads        uint64
 	Writes       uint64
@@ -93,6 +99,38 @@ type Stats struct {
 	Crashes      uint64
 	InjectedErrs uint64
 	SilentRots   uint64
+}
+
+// diskMetrics holds the obs handles, resolved once at construction so the IO
+// paths never touch the registry's lock.
+type diskMetrics struct {
+	reads        *obs.Counter
+	writes       *obs.Counter
+	syncs        *obs.Counter
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	crashes      *obs.Counter
+	injectedErrs *obs.Counter
+	silentRots   *obs.Counter
+	readLat      *obs.Histogram
+	writeLat     *obs.Histogram
+	syncLat      *obs.Histogram
+}
+
+func newDiskMetrics(o *obs.Obs) diskMetrics {
+	return diskMetrics{
+		reads:        o.Counter("disk.reads"),
+		writes:       o.Counter("disk.writes"),
+		syncs:        o.Counter("disk.syncs"),
+		bytesRead:    o.Counter("disk.bytes_read"),
+		bytesWritten: o.Counter("disk.bytes_written"),
+		crashes:      o.Counter("disk.crashes"),
+		injectedErrs: o.Counter("disk.injected_errs"),
+		silentRots:   o.Counter("disk.silent_rots"),
+		readLat:      o.Histogram("disk.read_lat"),
+		writeLat:     o.Histogram("disk.write_lat"),
+		syncLat:      o.Histogram("disk.sync_lat"),
+	}
 }
 
 // failMode describes injected failures for one extent.
@@ -119,7 +157,8 @@ type Disk struct {
 
 	failures map[ExtentID]*failMode
 
-	stats Stats
+	obs *obs.Obs
+	met diskMetrics
 }
 
 // New creates a zero-filled disk.
@@ -127,11 +166,17 @@ func New(cfg Config) (*Disk, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(nil)
+	}
 	d := &Disk{
 		cfg:      cfg,
 		durable:  make([][]byte, cfg.ExtentCount),
 		cache:    make(map[PageAddr][]byte),
 		failures: make(map[ExtentID]*failMode),
+		obs:      o,
+		met:      newDiskMetrics(o),
 	}
 	for i := range d.durable {
 		d.durable[i] = make([]byte, cfg.ExtentBytes())
@@ -142,12 +187,23 @@ func New(cfg Config) (*Disk, error) {
 // Config returns the disk geometry.
 func (d *Disk) Config() Config { return d.cfg }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters (reading the obs
+// registry; each field is an atomic load).
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Reads:        d.met.reads.Value(),
+		Writes:       d.met.writes.Value(),
+		Syncs:        d.met.syncs.Value(),
+		BytesRead:    d.met.bytesRead.Value(),
+		BytesWritten: d.met.bytesWritten.Value(),
+		Crashes:      d.met.crashes.Value(),
+		InjectedErrs: d.met.injectedErrs.Value(),
+		SilentRots:   d.met.silentRots.Value(),
+	}
 }
+
+// Obs returns the disk's observability handle.
+func (d *Disk) Obs() *obs.Obs { return d.obs }
 
 // Close marks the disk closed; subsequent IO fails.
 func (d *Disk) Close() {
@@ -179,14 +235,20 @@ func (d *Disk) checkFailure(ext ExtentID, op string) error {
 		return nil
 	}
 	if fm.failPerm {
-		d.stats.InjectedErrs++
+		d.met.injectedErrs.Inc()
 		d.cfg.Coverage.Hit("disk.fail.permanent")
+		if d.obs.Tracing() {
+			d.obs.Record("disk", "fail", fmt.Sprintf("e%d", ext), "permanent:"+op, 0)
+		}
 		return fmt.Errorf("%w: permanent failure on extent %d during %s", ErrInjected, ext, op)
 	}
 	if fm.failOnce {
 		fm.failOnce = false
-		d.stats.InjectedErrs++
+		d.met.injectedErrs.Inc()
 		d.cfg.Coverage.Hit("disk.fail.transient")
+		if d.obs.Tracing() {
+			d.obs.Record("disk", "fail", fmt.Sprintf("e%d", ext), "transient:"+op, 0)
+		}
 		return fmt.Errorf("%w: transient failure on extent %d during %s", ErrInjected, ext, op)
 	}
 	return nil
@@ -228,6 +290,7 @@ func (d *Disk) ClearFailures() {
 // to preserve it). Writes may span pages; each touched page gets a cached
 // image so a crash can tear the write at page granularity.
 func (d *Disk) WriteAt(ext ExtentID, off int, data []byte) error {
+	start := d.obs.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkRange(ext, off, len(data)); err != nil {
@@ -236,8 +299,15 @@ func (d *Disk) WriteAt(ext ExtentID, off int, data []byte) error {
 	if err := d.checkFailure(ext, "write"); err != nil {
 		return err
 	}
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(len(data))
+	d.met.writes.Inc()
+	d.met.bytesWritten.Add(uint64(len(data)))
+	defer func() {
+		dur := d.obs.Now() - start
+		d.met.writeLat.Observe(dur)
+		if d.obs.Tracing() {
+			d.obs.Record("disk", "write", fmt.Sprintf("e%d+%d:%d", ext, off, len(data)), "ok", dur)
+		}
+	}()
 
 	ps := d.cfg.PageSize
 	for len(data) > 0 {
@@ -265,6 +335,7 @@ func (d *Disk) WriteAt(ext ExtentID, off int, data []byte) error {
 // ReadAt reads len(buf) bytes from extent ext at offset off, observing the
 // volatile cache (reads see the latest write, synced or not).
 func (d *Disk) ReadAt(ext ExtentID, off int, buf []byte) error {
+	start := d.obs.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkRange(ext, off, len(buf)); err != nil {
@@ -273,8 +344,15 @@ func (d *Disk) ReadAt(ext ExtentID, off int, buf []byte) error {
 	if err := d.checkFailure(ext, "read"); err != nil {
 		return err
 	}
-	d.stats.Reads++
-	d.stats.BytesRead += uint64(len(buf))
+	d.met.reads.Inc()
+	d.met.bytesRead.Add(uint64(len(buf)))
+	defer func() {
+		dur := d.obs.Now() - start
+		d.met.readLat.Observe(dur)
+		if d.obs.Tracing() {
+			d.obs.Record("disk", "read", fmt.Sprintf("e%d+%d:%d", ext, off, len(buf)), "ok", dur)
+		}
+	}()
 
 	ps := d.cfg.PageSize
 	pos := 0
@@ -299,13 +377,20 @@ func (d *Disk) ReadAt(ext ExtentID, off int, buf []byte) error {
 // Sync makes every cached page write durable. It models a full write-cache
 // flush (FUA/barrier for everything outstanding).
 func (d *Disk) Sync() error {
+	start := d.obs.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosedDisk
 	}
-	d.stats.Syncs++
+	d.met.syncs.Inc()
+	flushed := len(d.cacheOrder)
 	d.applyCacheLocked(func(PageAddr) bool { return true })
+	dur := d.obs.Now() - start
+	d.met.syncLat.Observe(dur)
+	if d.obs.Tracing() {
+		d.obs.Record("disk", "sync", fmt.Sprintf("%d pages", flushed), "ok", dur)
+	}
 	return nil
 }
 
@@ -385,8 +470,11 @@ func (d *Disk) CorruptPage(ext ExtentID, page int, mode RotMode, seed int64) boo
 			img[rng.Intn(ps)] ^= 1 << uint(rng.Intn(8))
 		}
 	}
-	d.stats.SilentRots++
+	d.met.silentRots.Inc()
 	d.cfg.Coverage.Hit("disk.rot")
+	if d.obs.Tracing() {
+		d.obs.Record("disk", "rot", fmt.Sprintf("e%d/p%d", ext, page), mode.String(), 0)
+	}
 	return true
 }
 
@@ -408,9 +496,12 @@ func (d *Disk) DirtyPages() []PageAddr {
 func (d *Disk) Crash(rng *rand.Rand) (kept, lost []PageAddr) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats.Crashes++
+	d.met.crashes.Inc()
 	d.cfg.Coverage.Hit("disk.crash")
 	kept, lost = d.applyCacheLocked(func(PageAddr) bool { return rng.Intn(2) == 0 })
+	if d.obs.Tracing() {
+		d.obs.Record("disk", "crash", "", fmt.Sprintf("kept=%d lost=%d", len(kept), len(lost)), 0)
+	}
 	// A crash also clears injected transient failures (the process restarts),
 	// but permanent media failures persist.
 	for ext, fm := range d.failures {
@@ -427,7 +518,7 @@ func (d *Disk) Crash(rng *rand.Rand) (kept, lost []PageAddr) {
 func (d *Disk) CrashKeep(keep func(PageAddr) bool) (kept, lost []PageAddr) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats.Crashes++
+	d.met.crashes.Inc()
 	return d.applyCacheLocked(keep)
 }
 

@@ -17,6 +17,7 @@ import (
 	"shardstore/internal/coverage"
 	"shardstore/internal/dep"
 	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 	"shardstore/internal/vsync"
 )
 
@@ -62,6 +63,32 @@ type Config struct {
 	// ResetHappened reports whether any extent was reset this session — the
 	// trigger state for seeded bug #3 in the shutdown path.
 	ResetHappened func() bool
+	// Obs is the observability registry for metrics and tracing. Nil gives
+	// the tree a private registry.
+	Obs *obs.Obs
+}
+
+// treeMetrics holds the obs handles, resolved once at construction.
+type treeMetrics struct {
+	flushes     *obs.Counter
+	compactions *obs.Counter
+	runLoads    *obs.Counter
+	memEntries  *obs.Gauge
+	runCount    *obs.Gauge
+	flushDur    *obs.Histogram
+	compactDur  *obs.Histogram
+}
+
+func newTreeMetrics(o *obs.Obs) treeMetrics {
+	return treeMetrics{
+		flushes:     o.Counter("lsm.flushes"),
+		compactions: o.Counter("lsm.compactions"),
+		runLoads:    o.Counter("lsm.run_loads"),
+		memEntries:  o.Gauge("lsm.mem_entries"),
+		runCount:    o.Gauge("lsm.runs"),
+		flushDur:    o.Histogram("lsm.flush_dur"),
+		compactDur:  o.Histogram("lsm.compact_dur"),
+	}
 }
 
 // TestHookWindow, when non-nil, observes the bug #14 window opening and
@@ -97,6 +124,8 @@ type Tree struct {
 	cfg  Config
 	cov  *coverage.Registry
 	bugs *faults.Set
+	obs  *obs.Obs
+	met  treeMetrics
 
 	mem    map[string]memEntry
 	future *dep.Dependency // pending-memtable dependency, bound at flush
@@ -126,6 +155,10 @@ func NewTree(cs ChunkStore, ms MetaStore, futs FutureFactory, cfg Config, cov *c
 	if cfg.MaxRuns <= 0 {
 		cfg.MaxRuns = DefaultMaxRuns
 	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(nil)
+	}
 	t := &Tree{
 		cs:       cs,
 		ms:       ms,
@@ -133,6 +166,8 @@ func NewTree(cs ChunkStore, ms MetaStore, futs FutureFactory, cfg Config, cov *c
 		cfg:      cfg,
 		cov:      cov,
 		bugs:     bugs,
+		obs:      o,
+		met:      newTreeMetrics(o),
 		mem:      make(map[string]memEntry),
 		runCache: make(map[chunk.Locator][]Entry),
 	}
@@ -151,6 +186,7 @@ func NewTree(cs ChunkStore, ms MetaStore, futs FutureFactory, cfg Config, cov *c
 				t.runSeq = r.seq + 1
 			}
 		}
+		t.met.runCount.Set(int64(len(runs)))
 		cov.Hit("lsm.recovered")
 	}
 	return t, nil
@@ -209,6 +245,7 @@ func (t *Tree) Put(key string, value []byte, waits ...*dep.Dependency) (*dep.Dep
 	}
 	fut := t.future
 	needFlush := t.cfg.MaxMemEntries > 0 && len(t.mem) >= t.cfg.MaxMemEntries
+	t.met.memEntries.Set(int64(len(t.mem)))
 	t.mu.Unlock()
 	if needFlush {
 		if _, err := t.Flush(); err != nil {
@@ -226,6 +263,7 @@ func (t *Tree) Delete(key string, waits ...*dep.Dependency) (*dep.Dependency, er
 	if t.future == nil {
 		t.future = t.futs.Future()
 	}
+	t.met.memEntries.Set(int64(len(t.mem)))
 	return t.future, nil
 }
 
@@ -323,6 +361,7 @@ func (t *Tree) loadRun(ref runRef) ([]Entry, error) {
 			return entries, nil
 		}
 		t.mu.Unlock()
+		t.met.runLoads.Inc()
 		payload, owner, err := t.getRunChunk(loc)
 		if err == nil && (owner == "" || owner == want) {
 			entries, derr := decodeRun(payload)
@@ -379,6 +418,7 @@ func (t *Tree) Flush() (*dep.Dependency, error) {
 }
 
 func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
+	start := t.obs.Now()
 	// Serialize flushes (and compactions) so only one memtable generation is
 	// in flight at a time.
 	t.flushMu.Lock()
@@ -412,6 +452,7 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 	seq := t.runSeq
 	t.runSeq++
 	needCompact := len(t.runs)+1 > t.cfg.MaxRuns
+	t.met.memEntries.Set(0)
 	t.mu.Unlock()
 
 	// restore puts the un-flushed generation back on the error path (keys
@@ -481,8 +522,14 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 		t.futs.Bind(future, flushDep)
 	}
 	t.lastFlush = flushDep
+	t.met.runCount.Set(int64(len(t.runs)))
 	t.mu.Unlock()
 	t.cov.Hit("lsm.flush")
+	t.met.flushes.Inc()
+	t.met.flushDur.Observe(t.obs.Now() - start)
+	if t.obs.Tracing() {
+		t.obs.Record("lsm", "flush", runKey, "ok", t.obs.Now()-start)
+	}
 	return flushDep, nil
 }
 
@@ -508,6 +555,7 @@ func (t *Tree) Compact() error {
 
 // compactLocked requires t.compactMu held.
 func (t *Tree) compactLocked() error {
+	start := t.obs.Now()
 	t.mu.Lock()
 	runs := append([]runRef(nil), t.runs...)
 	t.mu.Unlock()
@@ -574,12 +622,18 @@ func (t *Tree) compactLocked() error {
 		}
 	}
 	rec := encodeRunList(t.runs)
+	t.met.runCount.Set(int64(len(t.runs)))
 	_, werr := t.ms.WriteRecord(rec, cdep)
 	t.mu.Unlock()
 	if werr != nil {
 		return werr
 	}
 	t.cov.Hit("lsm.compact")
+	t.met.compactions.Inc()
+	t.met.compactDur.Observe(t.obs.Now() - start)
+	if t.obs.Tracing() {
+		t.obs.Record("lsm", "compact", runKey, "ok", t.obs.Now()-start)
+	}
 	return nil
 }
 

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRingWraparound: a ring past capacity retains exactly the newest events
+// in order, and Dump reports how many were overwritten.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Layer: "store", Op: fmt.Sprintf("op%d", i)})
+	}
+	events, truncated := r.Dump()
+	if truncated != 6 {
+		t.Fatalf("truncated = %d, want 6", truncated)
+	}
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		wantOp := fmt.Sprintf("op%d", 6+i)
+		if e.Op != wantOp || e.Seq != uint64(6+i) {
+			t.Errorf("event %d = %+v, want op %s seq %d", i, e, wantOp, 6+i)
+		}
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+// TestRingUnderfill: a ring below capacity dumps everything with no
+// truncation marker.
+func TestRingUnderfill(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Op: fmt.Sprintf("op%d", i)})
+	}
+	events, truncated := r.Dump()
+	if truncated != 0 || len(events) != 3 {
+		t.Fatalf("truncated=%d len=%d", truncated, len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d seq %d", i, e.Seq)
+		}
+	}
+	// Exactly at capacity: still no truncation.
+	r2 := NewRing(3)
+	for i := 0; i < 3; i++ {
+		r2.Record(Event{})
+	}
+	if _, trunc := r2.Dump(); trunc != 0 {
+		t.Fatalf("at-capacity truncated=%d", trunc)
+	}
+}
+
+// TestFormatTraceTruncationMarking: the rendered trace leads with the
+// overwritten-count marker so partial trails are visibly partial.
+func TestFormatTraceTruncationMarking(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Layer: "disk", Op: "write", Target: "e1/p2", Outcome: "ok"})
+	}
+	out := FormatTrace(r.Dump())
+	if !strings.HasPrefix(out, "... 3 earlier events overwritten ...") {
+		t.Fatalf("missing truncation marker: %q", out)
+	}
+	if strings.Count(out, "[disk] write") != 2 {
+		t.Fatalf("want 2 rendered events: %q", out)
+	}
+	// No marker when nothing was lost.
+	r2 := NewRing(4)
+	r2.Record(Event{Op: "x"})
+	if out := FormatTrace(r2.Dump()); strings.Contains(out, "overwritten") {
+		t.Fatalf("spurious truncation marker: %q", out)
+	}
+}
+
+// TestObsRecord: events recorded through an Obs carry clock ticks and are
+// inert without a ring.
+func TestObsRecord(t *testing.T) {
+	o := New(nil)
+	o.Record("store", "put", "k", "ok", 3) // no ring: dropped
+	if o.TraceRing() != nil {
+		t.Fatal("ring before WithTrace")
+	}
+	o.WithTrace(16)
+	o.Record("store", "put", "k", "ok", 3)
+	o.Record("store", "get", "k", Outcome(nil), 0)
+	events, _ := o.TraceRing().Dump()
+	if len(events) != 2 {
+		t.Fatalf("recorded %d events", len(events))
+	}
+	if events[0].Tick == 0 || events[1].Tick <= events[0].Tick {
+		t.Fatalf("ticks not monotonic: %+v", events)
+	}
+	if events[1].Outcome != "ok" {
+		t.Fatalf("outcome: %+v", events[1])
+	}
+	if s := events[0].String(); !strings.Contains(s, "[store] put k -> ok (dur=3)") {
+		t.Fatalf("render: %q", s)
+	}
+}

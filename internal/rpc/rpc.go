@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"shardstore/internal/obs"
 	"shardstore/internal/store"
 )
 
@@ -44,6 +45,7 @@ const (
 	OpStats       Op = "stats"
 	OpScrub       Op = "scrub"        // run one full scrub round on a disk
 	OpScrubStatus Op = "scrub_status" // report a disk's scrubber state
+	OpMetrics     Op = "metrics"      // full obs registry snapshot, all disks merged
 )
 
 // Request is one wire request.
@@ -58,13 +60,14 @@ type Request struct {
 
 // Response is one wire response.
 type Response struct {
-	OK     bool         `json:"ok"`
-	Err    string       `json:"err,omitempty"`
-	Code   string       `json:"code,omitempty"` // "not_found", "out_of_service", ...
-	Value  []byte       `json:"value,omitempty"`
-	Shards []string     `json:"shards,omitempty"`
-	Stats  *Stats       `json:"stats,omitempty"`
-	Scrub  *ScrubStatus `json:"scrub,omitempty"`
+	OK      bool          `json:"ok"`
+	Err     string        `json:"err,omitempty"`
+	Code    string        `json:"code,omitempty"` // "not_found", "out_of_service", ...
+	Value   []byte        `json:"value,omitempty"`
+	Shards  []string      `json:"shards,omitempty"`
+	Stats   *Stats        `json:"stats,omitempty"`
+	Scrub   *ScrubStatus  `json:"scrub,omitempty"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // ScrubStatus is one disk's cumulative scrubber state: the integrity
@@ -152,12 +155,42 @@ type Server struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed bool
+
+	// obs meters the rpc layer itself (request counts and per-op latency).
+	// The server runs on the wall clock; per-store registries keep whatever
+	// clock they were built with.
+	obs      *obs.Obs
+	requests *obs.Counter
+	failures *obs.Counter
+	opLat    map[Op]*obs.Histogram
 }
 
-// NewServer wraps the given per-disk stores.
-func NewServer(stores []*store.Store) *Server {
-	return &Server{stores: append([]*store.Store(nil), stores...)}
+// NewServer wraps the given per-disk stores. The rpc layer meters itself on
+// the wall clock; pass a non-nil o to use a caller-supplied registry (e.g. a
+// logical clock for deterministic output).
+func NewServer(stores []*store.Store, o ...*obs.Obs) *Server {
+	var so *obs.Obs
+	if len(o) > 0 && o[0] != nil {
+		so = o[0]
+	} else {
+		so = obs.New(obs.NewWallClock())
+	}
+	s := &Server{
+		stores:   append([]*store.Store(nil), stores...),
+		obs:      so,
+		requests: so.Counter("rpc.requests"),
+		failures: so.Counter("rpc.failures"),
+		opLat:    make(map[Op]*obs.Histogram),
+	}
+	for _, op := range []Op{OpPut, OpGet, OpDelete, OpList, OpBulkCreate, OpBulkRemove,
+		OpRemoveDisk, OpReturnDisk, OpFlush, OpStats, OpScrub, OpScrubStatus, OpMetrics} {
+		s.opLat[op] = so.Histogram("rpc." + string(op) + "_lat")
+	}
+	return s
 }
+
+// Obs returns the server's own observability registry.
+func (s *Server) Obs() *obs.Obs { return s.obs }
 
 // steer picks the disk for a shard id (the §2.1 steering function).
 func (s *Server) steer(shardID string) int {
@@ -257,6 +290,26 @@ func (s *Server) replaceStore(idx int, ns *store.Store) {
 }
 
 func (s *Server) dispatch(req *Request) *Response {
+	start := s.obs.Now()
+	resp := s.dispatchInner(req)
+	s.requests.Inc()
+	if !resp.OK {
+		s.failures.Inc()
+	}
+	if h := s.opLat[req.Op]; h != nil {
+		h.Observe(s.obs.Now() - start)
+	}
+	if s.obs.Tracing() {
+		outcome := "ok"
+		if !resp.OK {
+			outcome = "err:" + resp.Code
+		}
+		s.obs.Record("rpc", string(req.Op), req.ShardID, outcome, s.obs.Now()-start)
+	}
+	return resp
+}
+
+func (s *Server) dispatchInner(req *Request) *Response {
 	st, idx, err := s.storeFor(req)
 	if err != nil {
 		return &Response{OK: false, Err: err.Error(), Code: CodeBadRequest}
@@ -350,32 +403,86 @@ func (s *Server) dispatch(req *Request) *Response {
 		return &Response{OK: true, Scrub: scrubStatus(st)}
 	case OpStats:
 		return &Response{OK: true, Stats: s.stats()}
+	case OpMetrics:
+		return &Response{OK: true, Metrics: s.metrics()}
 	default:
 		return &Response{OK: false, Err: fmt.Sprintf("unknown op %q", req.Op), Code: CodeBadRequest}
 	}
+}
+
+// diskStats is one store's state captured at a single point: every field is
+// read back to back before the next store is touched, so the aggregate view
+// cannot interleave one disk's counters with traffic that lands between loop
+// iterations over the same disk.
+type diskStats struct {
+	ids       []string
+	inService bool
+	chunks    struct{ puts, reclaims, gets uint64 }
+	scrub     struct {
+		rounds, repaired uint64
+		lost             int
+	}
+}
+
+func snapshotDisk(st *store.Store) diskStats {
+	var d diskStats
+	ids, err := st.List()
+	d.ids = ids
+	d.inService = !errors.Is(err, store.ErrOutOfService)
+	cs := st.Chunks().Stats()
+	d.chunks.puts, d.chunks.reclaims, d.chunks.gets = cs.Puts, cs.Reclaims, cs.Gets
+	ss := st.Scrubber().Stats()
+	d.scrub.rounds, d.scrub.repaired = ss.Rounds, ss.Repaired
+	d.scrub.lost = len(st.Scrubber().LostKeys())
+	return d
 }
 
 func (s *Server) stats() *Stats {
 	s.mu.Lock()
 	stores := append([]*store.Store(nil), s.stores...)
 	s.mu.Unlock()
+	// One pass: capture each store's complete snapshot first, then aggregate,
+	// so every per-disk column in the result describes the same instant for
+	// that disk.
+	snaps := make([]diskStats, len(stores))
+	for i, st := range stores {
+		snaps[i] = snapshotDisk(st)
+	}
 	out := &Stats{Disks: len(stores)}
-	for _, st := range stores {
-		ids, err := st.List()
-		inSvc := !errors.Is(err, store.ErrOutOfService)
-		out.InService = append(out.InService, inSvc)
-		out.ShardsPer = append(out.ShardsPer, len(ids))
-		out.Shards += len(ids)
-		cs := st.Chunks().Stats()
-		out.ChunkPuts = append(out.ChunkPuts, cs.Puts)
-		out.Reclaims = append(out.Reclaims, cs.Reclaims)
-		out.GetsPerDisk = append(out.GetsPerDisk, cs.Gets)
-		ss := st.Scrubber().Stats()
-		out.ScrubRounds = append(out.ScrubRounds, ss.Rounds)
-		out.ScrubRepaired = append(out.ScrubRepaired, ss.Repaired)
-		out.ScrubLost = append(out.ScrubLost, len(st.Scrubber().LostKeys()))
+	for _, d := range snaps {
+		out.InService = append(out.InService, d.inService)
+		out.ShardsPer = append(out.ShardsPer, len(d.ids))
+		out.Shards += len(d.ids)
+		out.ChunkPuts = append(out.ChunkPuts, d.chunks.puts)
+		out.Reclaims = append(out.Reclaims, d.chunks.reclaims)
+		out.GetsPerDisk = append(out.GetsPerDisk, d.chunks.gets)
+		out.ScrubRounds = append(out.ScrubRounds, d.scrub.rounds)
+		out.ScrubRepaired = append(out.ScrubRepaired, d.scrub.repaired)
+		out.ScrubLost = append(out.ScrubLost, d.scrub.lost)
 	}
 	return out
+}
+
+// metrics folds the server's own registry and every store's registry into one
+// host-wide snapshot: counters and gauges add, histograms merge bucket-wise
+// (merge order does not matter — see the associativity property test in
+// internal/obs). Stores sharing one registry are folded once.
+func (s *Server) metrics() *obs.Snapshot {
+	s.mu.Lock()
+	stores := append([]*store.Store(nil), s.stores...)
+	s.mu.Unlock()
+	merged := s.obs.Snapshot()
+	seen := map[*obs.Obs]bool{s.obs: true}
+	for _, st := range stores {
+		for _, o := range []*obs.Obs{st.Obs(), st.Disk().Obs()} {
+			if o == nil || seen[o] {
+				continue
+			}
+			seen[o] = true
+			merged.Merge(o.Snapshot())
+		}
+	}
+	return &merged
 }
 
 // scrubStatus snapshots one store's scrubber state for the wire.
@@ -554,4 +661,17 @@ func (c *Client) Stats() (*Stats, error) {
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// Metrics returns the host-wide observability snapshot: the server's rpc
+// metrics merged with every disk's registry.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	resp, err := c.do(&Request{Op: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Metrics == nil {
+		return &obs.Snapshot{}, nil
+	}
+	return resp.Metrics, nil
 }

@@ -1,0 +1,129 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMetricsOp: the metrics op returns the host-wide merged snapshot — the
+// rpc layer's own counters plus every store's registry.
+func TestMetricsOp(t *testing.T) {
+	_, c := newTestServer(t, 2)
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("m-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(fmt.Sprintf("m-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pump both disks so the scheduler's buffered chunk writes actually reach
+	// the disk layer (write metrics are recorded at WriteAt, not at staging).
+	for i := 0; i < 2; i++ {
+		if err := c.Flush(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["store.puts"] != 10 || snap.Counters["store.gets"] != 10 {
+		t.Fatalf("store counters: puts=%d gets=%d", snap.Counters["store.puts"], snap.Counters["store.gets"])
+	}
+	if snap.Counters["rpc.requests"] < 20 {
+		t.Fatalf("rpc.requests = %d, want >= 20", snap.Counters["rpc.requests"])
+	}
+	if h := snap.Histograms["rpc.put_lat"]; h.Count != 10 {
+		t.Fatalf("rpc.put_lat count = %d, want 10", h.Count)
+	}
+	if h := snap.Histograms["disk.write_lat"]; h.Count == 0 {
+		t.Fatal("disk.write_lat never observed — disk registry not merged")
+	}
+}
+
+// TestStatsMetricsHammer drives puts/gets/deletes from several goroutines
+// while other goroutines continuously pull stats and metrics snapshots. Run
+// under -race by the CI obs leg: any unsynchronized read between the snapshot
+// paths and the hot paths shows up here.
+func TestStatsMetricsHammer(t *testing.T) {
+	srv, c := newTestServer(t, 2)
+	addr := srv.ln.Addr().String()
+
+	const writers, readers, opsPer = 4, 3, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer wc.Close()
+			for i := 0; i < opsPer; i++ {
+				id := fmt.Sprintf("h-%d-%d", w, i%8)
+				if err := wc.Put(id, []byte{byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := wc.Get(id); err != nil && !errors.Is(err, ErrNotFound) {
+					errs <- err
+					return
+				}
+				if i%5 == 4 {
+					if err := wc.Delete(id); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rc, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rc.Close()
+			for i := 0; i < opsPer; i++ {
+				if _, err := rc.Stats(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := rc.Metrics(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the merged snapshot must be internally
+	// consistent: rpc saw every request, and the store-level counters bound
+	// the rpc-level ones.
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["store.puts"] != writers*opsPer {
+		t.Fatalf("store.puts = %d, want %d", snap.Counters["store.puts"], writers*opsPer)
+	}
+	if snap.Histograms["store.put_lat"].Count != writers*opsPer {
+		t.Fatalf("store.put_lat count = %d, want %d", snap.Histograms["store.put_lat"].Count, writers*opsPer)
+	}
+}

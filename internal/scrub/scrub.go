@@ -24,6 +24,7 @@
 package scrub
 
 import (
+	"fmt"
 	"sort"
 
 	"shardstore/internal/chunk"
@@ -31,6 +32,7 @@ import (
 	"shardstore/internal/dep"
 	"shardstore/internal/disk"
 	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 	"shardstore/internal/vsync"
 )
 
@@ -63,9 +65,13 @@ type Config struct {
 	// KeysPerStep rate-limits Step: at most this many shards are verified
 	// per call, resuming from a cursor. Zero selects 8.
 	KeysPerStep int
+	// Obs is the observability registry for metrics and tracing. Nil gives
+	// the scrubber a private registry.
+	Obs *obs.Obs
 }
 
-// Stats counts scrubber activity (cumulative since creation).
+// Stats counts scrubber activity (cumulative since creation). It is a thin
+// snapshot of the scrubber's obs registry counters.
 type Stats struct {
 	Rounds         uint64 // completed full passes
 	KeysScanned    uint64
@@ -97,6 +103,39 @@ func (r *Result) add(o Result) {
 	r.Irreparable += o.Irreparable
 }
 
+// scrubMetrics holds the obs handles, resolved once at construction.
+type scrubMetrics struct {
+	rounds         *obs.Counter
+	keysScanned    *obs.Counter
+	framesVerified *obs.Counter
+	bytesVerified  *obs.Counter
+	badReplicas    *obs.Counter
+	repaired       *obs.Counter
+	repairFailed   *obs.Counter
+	swapLost       *obs.Counter
+	irreparable    *obs.Counter
+	lostShards     *obs.Gauge
+	roundDur       *obs.Histogram
+	repairDur      *obs.Histogram
+}
+
+func newScrubMetrics(o *obs.Obs) scrubMetrics {
+	return scrubMetrics{
+		rounds:         o.Counter("scrub.rounds"),
+		keysScanned:    o.Counter("scrub.keys_scanned"),
+		framesVerified: o.Counter("scrub.frames_verified"),
+		bytesVerified:  o.Counter("scrub.bytes_verified"),
+		badReplicas:    o.Counter("scrub.bad_replicas"),
+		repaired:       o.Counter("scrub.repaired"),
+		repairFailed:   o.Counter("scrub.repair_failed"),
+		swapLost:       o.Counter("scrub.swap_lost"),
+		irreparable:    o.Counter("scrub.irreparable"),
+		lostShards:     o.Gauge("scrub.lost_shards"),
+		roundDur:       o.Histogram("scrub.round_dur"),
+		repairDur:      o.Histogram("scrub.repair_dur"),
+	}
+}
+
 // Scrubber walks one node's live shards verifying and repairing replicas.
 // Methods are safe for concurrent use; a single pass runs at a time.
 type Scrubber struct {
@@ -105,8 +144,9 @@ type Scrubber struct {
 	cfg  Config
 	cov  *coverage.Registry
 	bugs *faults.Set
+	obs  *obs.Obs
+	met  scrubMetrics
 
-	stats  Stats
 	cursor string // next key for Step's resumable partial pass
 	// lost records shards with at least one irreparable piece, cleared when
 	// a later pass finds the shard healthy again (it was rewritten) or gone.
@@ -119,14 +159,27 @@ func New(host Host, cfg Config, cov *coverage.Registry, bugs *faults.Set) *Scrub
 	if cfg.KeysPerStep <= 0 {
 		cfg.KeysPerStep = 8
 	}
-	return &Scrubber{host: host, cfg: cfg, cov: cov, bugs: bugs, lost: make(map[string]bool)}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(nil)
+	}
+	return &Scrubber{host: host, cfg: cfg, cov: cov, bugs: bugs, obs: o, met: newScrubMetrics(o), lost: make(map[string]bool)}
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters (reading the obs
+// registry).
 func (s *Scrubber) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Rounds:         s.met.rounds.Value(),
+		KeysScanned:    s.met.keysScanned.Value(),
+		FramesVerified: s.met.framesVerified.Value(),
+		BytesVerified:  s.met.bytesVerified.Value(),
+		BadReplicas:    s.met.badReplicas.Value(),
+		Repaired:       s.met.repaired.Value(),
+		RepairFailed:   s.met.repairFailed.Value(),
+		SwapLost:       s.met.swapLost.Value(),
+		Irreparable:    s.met.irreparable.Value(),
+	}
 }
 
 // LostKeys returns the shards currently recorded as having irreparable
@@ -145,6 +198,7 @@ func (s *Scrubber) LostKeys() []string {
 
 // Round runs one full verification pass over every live shard.
 func (s *Scrubber) Round() (Result, error) {
+	start := s.obs.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys, err := s.host.LiveKeys()
@@ -156,8 +210,12 @@ func (s *Scrubber) Round() (Result, error) {
 	for _, key := range keys {
 		res.add(s.scrubKeyLocked(key))
 	}
-	s.stats.Rounds++
+	s.met.rounds.Inc()
+	s.met.roundDur.Observe(s.obs.Now() - start)
 	s.cov.Hit("scrub.round")
+	if s.obs.Tracing() {
+		s.obs.Record("scrub", "round", fmt.Sprintf("%d keys", res.KeysScanned), "ok", s.obs.Now()-start)
+	}
 	return res, nil
 }
 
@@ -174,7 +232,7 @@ func (s *Scrubber) Step() (res Result, wrapped bool, err error) {
 	s.pruneLostLocked(keys)
 	if len(keys) == 0 {
 		s.cursor = ""
-		s.stats.Rounds++
+		s.met.rounds.Inc()
 		return Result{}, true, nil
 	}
 	sort.Strings(keys)
@@ -192,7 +250,7 @@ func (s *Scrubber) Step() (res Result, wrapped bool, err error) {
 	next := start + n
 	if next >= len(keys) {
 		wrapped = true
-		s.stats.Rounds++
+		s.met.rounds.Inc()
 		s.cursor = ""
 	} else {
 		s.cursor = keys[next]
@@ -239,7 +297,7 @@ func (s *Scrubber) scrubKeyLocked(key string) Result {
 		return res
 	}
 	res.KeysScanned = 1
-	s.stats.KeysScanned++
+	s.met.keysScanned.Inc()
 	anyIrreparable := false
 	sawUnknown := false
 	for _, group := range groups {
@@ -253,13 +311,16 @@ func (s *Scrubber) scrubKeyLocked(key string) Result {
 			if reps[i].raw != nil {
 				res.FramesVerified++
 				res.BytesVerified += len(reps[i].raw)
-				s.stats.FramesVerified++
-				s.stats.BytesVerified += uint64(len(reps[i].raw))
+				s.met.framesVerified.Inc()
+				s.met.bytesVerified.Add(uint64(len(reps[i].raw)))
 			}
 			if reps[i].bad {
 				res.BadReplicas++
-				s.stats.BadReplicas++
+				s.met.badReplicas.Inc()
 				s.cov.Hit("scrub.bad_replica")
+				if s.obs.Tracing() {
+					s.obs.Record("scrub", "bad_replica", reps[i].loc.String(), "rot", 0)
+				}
 			} else {
 				allBad = false
 			}
@@ -272,7 +333,6 @@ func (s *Scrubber) scrubKeyLocked(key string) Result {
 			if source != nil {
 				if s.repairLocked(key, reps, i, source) {
 					res.Repaired++
-					s.stats.Repaired++
 				}
 			} else {
 				// No usable source this pass. The replica is definitively
@@ -288,7 +348,7 @@ func (s *Scrubber) scrubKeyLocked(key string) Result {
 		if allBad {
 			anyIrreparable = true
 			res.Irreparable++
-			s.stats.Irreparable++
+			s.met.irreparable.Inc()
 			s.cov.Hit("scrub.irreparable")
 		}
 	}
@@ -296,12 +356,16 @@ func (s *Scrubber) scrubKeyLocked(key string) Result {
 		if !s.lost[key] {
 			s.lost[key] = true
 			s.cov.Hit("scrub.lost_shard")
+			if s.obs.Tracing() {
+				s.obs.Record("scrub", "lost_shard", key, "irreparable", 0)
+			}
 		}
 	} else if !sawUnknown {
 		// Only a fully determinate pass (every replica actually read) may
 		// clear a standing loss verdict.
 		delete(s.lost, key)
 	}
+	s.met.lostShards.Set(int64(len(s.lost)))
 	return res
 }
 
@@ -363,6 +427,7 @@ const headerFixedPrefix = 1 + 16 + 1 + 2 + 4
 // holding none of the group's other replicas, CAS it into the index entry,
 // and quarantine the rotted locator. Caller holds s.mu.
 func (s *Scrubber) repairLocked(key string, reps []replica, i int, source *replica) bool {
+	start := s.obs.Now()
 	var avoid []disk.ExtentID
 	for j := range reps {
 		if j != i {
@@ -371,7 +436,7 @@ func (s *Scrubber) repairLocked(key string, reps []replica, i int, source *repli
 	}
 	newLoc, d, release, err := s.host.WriteRepair(key, source.payload, avoid)
 	if err != nil {
-		s.stats.RepairFailed++
+		s.met.repairFailed.Inc()
 		s.cov.Hit("scrub.repair_failed")
 		return false
 	}
@@ -380,18 +445,23 @@ func (s *Scrubber) repairLocked(key string, reps []replica, i int, source *repli
 	swapped, err := s.host.SwapReplica(key, reps[i].loc, newLoc, d)
 	release()
 	if err != nil {
-		s.stats.RepairFailed++
+		s.met.repairFailed.Inc()
 		s.cov.Hit("scrub.repair_failed")
 		return false
 	}
 	if !swapped {
 		// A concurrent put, delete, or reclamation changed the entry; the
 		// healed copy becomes garbage for a future reclamation.
-		s.stats.SwapLost++
+		s.met.swapLost.Inc()
 		s.cov.Hit("scrub.swap_lost")
 		return false
 	}
 	s.host.Quarantine(reps[i].loc)
+	s.met.repaired.Inc()
+	s.met.repairDur.Observe(s.obs.Now() - start)
 	s.cov.Hit("scrub.repaired")
+	if s.obs.Tracing() {
+		s.obs.Record("scrub", "repair", key, "ok", s.obs.Now()-start)
+	}
 	return true
 }

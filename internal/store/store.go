@@ -25,6 +25,7 @@ import (
 	"shardstore/internal/extent"
 	"shardstore/internal/faults"
 	"shardstore/internal/lsm"
+	"shardstore/internal/obs"
 	"shardstore/internal/scrub"
 	"shardstore/internal/vsync"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	Bugs *faults.Set
 	// Coverage optionally records probe hits.
 	Coverage *coverage.Registry
+	// Obs is the node-wide observability registry: every layer (disk, cache,
+	// chunk, LSM, scrub, store) resolves its metric handles from it, and its
+	// optional trace ring receives the cross-layer event trail. Nil gives the
+	// node a private registry on a logical clock, so per-layer Stats keep
+	// working standalone and harness runs stay deterministic.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -87,13 +94,48 @@ func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 1
 	}
+	if c.Obs == nil {
+		c.Obs = obs.New(nil)
+	}
+	if c.Disk.Obs == nil {
+		c.Disk.Obs = c.Obs
+	}
 	return c
+}
+
+// storeMetrics holds the store-layer obs handles, resolved once at Open.
+type storeMetrics struct {
+	puts       *obs.Counter
+	gets       *obs.Counter
+	deletes    *obs.Counter
+	getErrors  *obs.Counter
+	putErrors  *obs.Counter
+	putLat     *obs.Histogram
+	getLat     *obs.Histogram
+	deleteLat  *obs.Histogram
+	shardCount *obs.Gauge
+}
+
+func newStoreMetrics(o *obs.Obs) storeMetrics {
+	return storeMetrics{
+		puts:       o.Counter("store.puts"),
+		gets:       o.Counter("store.gets"),
+		deletes:    o.Counter("store.deletes"),
+		getErrors:  o.Counter("store.get_errors"),
+		putErrors:  o.Counter("store.put_errors"),
+		putLat:     o.Histogram("store.put_lat"),
+		getLat:     o.Histogram("store.get_lat"),
+		deleteLat:  o.Histogram("store.delete_lat"),
+		shardCount: o.Gauge("store.shards"),
+	}
 }
 
 // Store is one storage node (one disk's key-value store).
 type Store struct {
 	mu  vsync.Mutex
 	cfg Config
+	obs *obs.Obs
+	met storeMetrics
 
 	d        *disk.Disk
 	sched    *dep.Scheduler
@@ -128,7 +170,7 @@ func Open(d *disk.Disk, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs := chunk.NewStore(em, chunk.Config{UUIDGen: cfg.UUIDGen, UUIDZeroBias: cfg.UUIDZeroBias, CacheCapacity: cfg.CacheCapacity}, cfg.Seed, cov, bugs)
+	cs := chunk.NewStore(em, chunk.Config{UUIDGen: cfg.UUIDGen, UUIDZeroBias: cfg.UUIDZeroBias, CacheCapacity: cfg.CacheCapacity, Obs: cfg.Obs}, cfg.Seed, cov, bugs)
 	ms, err := lsm.NewExtentMetaStore(sched, extent.MetaExtent, lsm.MaxMetaPayload(cfg.MaxRuns), cov)
 	if err != nil {
 		return nil, err
@@ -137,12 +179,15 @@ func Open(d *disk.Disk, cfg Config) (*Store, error) {
 		MaxRuns:       cfg.MaxRuns,
 		MaxMemEntries: cfg.MaxMemEntries,
 		ResetHappened: em.ResetHappened,
+		Obs:           cfg.Obs,
 	}, cov, bugs)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		cfg:       cfg,
+		obs:       cfg.Obs,
+		met:       newStoreMetrics(cfg.Obs),
 		d:         d,
 		sched:     sched,
 		em:        em,
@@ -153,12 +198,13 @@ func Open(d *disk.Disk, cfg Config) (*Store, error) {
 	}
 	cs.RegisterResolver(chunk.TagIndexRun, lsm.RunResolver{Tree: idx})
 	cs.RegisterResolver(chunk.TagData, dataResolver{s: s})
-	s.scrubber = scrub.New(scrubHost{s: s}, scrub.Config{}, cov, bugs)
+	s.scrubber = scrub.New(scrubHost{s: s}, scrub.Config{Obs: cfg.Obs}, cov, bugs)
 	keys, err := idx.Keys()
 	if err != nil {
 		return nil, fmt.Errorf("store: catalog rebuild: %w", err)
 	}
 	s.catalog = keys
+	s.met.shardCount.Set(int64(len(keys)))
 	cov.Hit("store.open")
 	return s, nil
 }
@@ -195,6 +241,9 @@ func (s *Store) Extents() *extent.Manager { return s.em }
 
 // Chunks returns the chunk store.
 func (s *Store) Chunks() *chunk.Store { return s.cs }
+
+// Obs returns the node-wide observability registry.
+func (s *Store) Obs() *obs.Obs { return s.obs }
 
 // Index returns the LSM index.
 func (s *Store) Index() *lsm.Tree { return s.idx }
@@ -312,6 +361,21 @@ func DecodeEntry(buf []byte) ([]chunk.Locator, error) {
 // metadata + superblock pointer updates; Fig 2). The shard is readable
 // immediately; the dependency is for durability polling.
 func (s *Store) Put(shardID string, data []byte) (*dep.Dependency, error) {
+	start := s.obs.Now()
+	d, err := s.putInner(shardID, data)
+	if err != nil {
+		s.met.putErrors.Inc()
+	} else {
+		s.met.puts.Inc()
+		s.met.putLat.Observe(s.obs.Now() - start)
+	}
+	if s.obs.Tracing() {
+		s.obs.Record("store", "put", shardID, obs.Outcome(err), s.obs.Now()-start)
+	}
+	return d, err
+}
+
+func (s *Store) putInner(shardID string, data []byte) (*dep.Dependency, error) {
 	if err := s.requireInService(); err != nil {
 		return nil, err
 	}
@@ -351,6 +415,7 @@ func (s *Store) Put(shardID string, data []byte) (*dep.Dependency, error) {
 	}
 	s.mu.Lock()
 	s.catalogInsertLocked(shardID)
+	s.met.shardCount.Set(int64(len(s.catalog)))
 	s.mu.Unlock()
 	s.cfg.Coverage.Hit("store.put")
 	return dataDep.And(idxDep), nil
@@ -384,6 +449,21 @@ func splitValue(data []byte, max int) [][]byte {
 // race the paper describes as "chunk locators could become invalid after a
 // race between write and flush".
 func (s *Store) Get(shardID string) ([]byte, error) {
+	start := s.obs.Now()
+	data, err := s.getInner(shardID)
+	if err != nil {
+		s.met.getErrors.Inc()
+	} else {
+		s.met.gets.Inc()
+		s.met.getLat.Observe(s.obs.Now() - start)
+	}
+	if s.obs.Tracing() {
+		s.obs.Record("store", "get", shardID, obs.Outcome(err), s.obs.Now()-start)
+	}
+	return data, err
+}
+
+func (s *Store) getInner(shardID string) ([]byte, error) {
 	if err := s.requireInService(); err != nil {
 		return nil, err
 	}
@@ -461,6 +541,19 @@ func (s *Store) readChunks(shardID string, groups [][]chunk.Locator) ([]byte, er
 // Delete removes shardID; its chunks become garbage for reclamation.
 // Deleting an absent shard is not an error (it is idempotent).
 func (s *Store) Delete(shardID string) (*dep.Dependency, error) {
+	start := s.obs.Now()
+	d, err := s.deleteInner(shardID)
+	if err == nil {
+		s.met.deletes.Inc()
+		s.met.deleteLat.Observe(s.obs.Now() - start)
+	}
+	if s.obs.Tracing() {
+		s.obs.Record("store", "delete", shardID, obs.Outcome(err), s.obs.Now()-start)
+	}
+	return d, err
+}
+
+func (s *Store) deleteInner(shardID string) (*dep.Dependency, error) {
 	if err := s.requireInService(); err != nil {
 		return nil, err
 	}
@@ -470,6 +563,7 @@ func (s *Store) Delete(shardID string) (*dep.Dependency, error) {
 	}
 	s.mu.Lock()
 	s.catalogRemoveLocked(shardID)
+	s.met.shardCount.Set(int64(len(s.catalog)))
 	s.mu.Unlock()
 	s.cfg.Coverage.Hit("store.delete")
 	return d, nil

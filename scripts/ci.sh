@@ -32,4 +32,10 @@ go test ./...
 echo "== go test -race (core, coverage, vsync, scrub)"
 go test -race -timeout 600s ./internal/core/... ./internal/coverage/... ./internal/vsync/... ./internal/scrub/...
 
+echo "== go test -race (obs + rpc: registry hot paths vs snapshot/metrics readers)"
+go test -race -timeout 300s ./internal/obs/... ./internal/rpc/...
+
+echo "== observability determinism gate (obs on/off: same verdicts, same disk bytes)"
+go test -run 'TestObservabilityDeterminismGate' -count=1 ./internal/core/
+
 echo "CI PASS"

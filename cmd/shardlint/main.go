@@ -1,0 +1,84 @@
+// Command shardlint runs the repo's static-analysis pass suite
+// (internal/analysis) over the module and exits nonzero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/shardlint ./...
+//
+// The passes enforce the validation stack's soundness side-conditions:
+// syncusage (vsync instrumentation completeness in model-checked packages),
+// determinism (no wall clock / global math/rand on replayed paths), mapiter
+// (map iteration order must not leak into harness-visible state), and
+// droppederr (no discarded disk/extent/chunk IO errors). Findings are
+// acknowledged in place with `//shardlint:allow <pass> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shardstore/internal/analysis"
+)
+
+func main() {
+	listPasses := flag.Bool("passes", false, "list the pass suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shardlint [-passes] [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	passes := analysis.AllPasses()
+	if *listPasses {
+		for _, p := range passes {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardlint: %v\n", err)
+		os.Exit(2)
+	}
+	units, err := analysis.LoadModule(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunPasses(units, passes)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Pass, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "shardlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

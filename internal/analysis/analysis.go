@@ -1,0 +1,161 @@
+// Package analysis is a standard-library-only static-analysis driver that
+// enforces the validation stack's soundness assumptions.
+//
+// The paper's methodology leans on side-conditions its main harness cannot
+// check from the inside: Loom/Shuttle explorations are only sound if every
+// synchronization operation is instrumented (§6), and replayable
+// minimization is only sound if failing executions are bit-identical under
+// re-execution (§4.1). Miri and Crux play the same role for undefined
+// behavior and panic-freedom — mechanized checks *outside* the harness (§5).
+// This package mechanizes the Go reproduction's equivalents as named passes
+// over the module's packages:
+//
+//   - syncusage: instrumented packages must use the vsync wrappers, never
+//     raw sync primitives, bare go statements, or t.Parallel.
+//   - determinism: deterministic packages must not read the wall clock or
+//     the global math/rand source.
+//   - mapiter: deterministic packages must not let Go's randomized map
+//     iteration order leak into slices, output, or channels.
+//   - droppederr: disk/extent/chunk IO errors must never be discarded.
+//
+// The driver is built on go/parser, go/ast, and go/types with the stdlib
+// source importer — no golang.org/x/tools dependency — so it runs anywhere
+// the toolchain does. Findings are position-accurate diagnostics; the
+// cmd/shardlint CLI exits nonzero on any finding.
+//
+// # Suppressions
+//
+// A finding can be acknowledged in place with
+//
+//	//shardlint:allow <pass> <reason>
+//
+// either trailing the flagged line or on the line directly above it. The
+// reason is mandatory: an annotation without one (or naming an unknown
+// pass) is itself a diagnostic, so suppressions stay auditable — `grep -rn
+// "//shardlint:allow"` lists every waived finding with its justification.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from one pass at one source position.
+type Diagnostic struct {
+	Pass    string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// Pass is a named check over a single type-checked unit.
+type Pass struct {
+	// Name identifies the pass in diagnostics and suppression comments.
+	Name string
+	// Doc is a one-line description for -help output.
+	Doc string
+	// Run reports the pass's findings for u. Suppression filtering is the
+	// driver's job; Run reports everything it sees.
+	Run func(u *Unit) []Diagnostic
+}
+
+// AllPasses returns the repo's pass suite in reporting order.
+func AllPasses() []*Pass {
+	return []*Pass{SyncUsage, Determinism, MapIter, DroppedErr}
+}
+
+// RunPasses runs every pass over every unit, applies //shardlint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Malformed suppression comments are reported as diagnostics of the
+// pseudo-pass "shardlint" and cannot themselves be suppressed.
+func RunPasses(units []*Unit, passes []*Pass) []Diagnostic {
+	known := make(map[string]bool, len(passes))
+	for _, p := range passes {
+		known[p.Name] = true
+	}
+	allows, diags := collectAllows(units, known)
+	for _, u := range units {
+		for _, p := range passes {
+			for _, d := range p.Run(u) {
+				if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Pass}] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return diags
+}
+
+// allowPrefix is the suppression marker. Kept as a single grep-able token:
+// no space after //, like //go:build.
+const allowPrefix = "//shardlint:allow"
+
+type allowKey struct {
+	file string
+	line int
+	pass string
+}
+
+// collectAllows scans every file's comments for suppression annotations. A
+// well-formed annotation covers its own line and the line directly below it
+// (so it works both trailing the flagged statement and standalone above it).
+// Annotations missing a reason or naming an unknown pass are returned as
+// diagnostics.
+func collectAllows(units []*Unit, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pass: "shardlint",
+							Pos:  pos,
+							Message: fmt.Sprintf("malformed suppression %q: want %s <pass> <reason> — the reason is mandatory",
+								c.Text, allowPrefix),
+						})
+						continue
+					}
+					pass := fields[0]
+					if !known[pass] {
+						bad = append(bad, Diagnostic{
+							Pass:    "shardlint",
+							Pos:     pos,
+							Message: fmt.Sprintf("suppression names unknown pass %q", pass),
+						})
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, pass}] = true
+					allows[allowKey{pos.Filename, pos.Line + 1, pass}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages on the harness's replay path: a
+// failing case must re-execute bit-identically from its seed for replay
+// and minimization to be sound (§4.1). One wall-clock read or draw from
+// the global math/rand source silently breaks that. internal/experiments
+// and internal/rpc are included so their intentional server-side wall-clock
+// uses carry explicit //shardlint:allow annotations instead of passing
+// unexamined.
+var deterministicPkgs = map[string]bool{
+	"internal/core":        true,
+	"internal/prop":        true,
+	"internal/model":       true,
+	"internal/shuttle":     true,
+	"internal/disk":        true,
+	"internal/lsm":         true,
+	"internal/chunk":       true,
+	"internal/store":       true,
+	"internal/experiments": true,
+	"internal/rpc":         true,
+}
+
+// seededConstructors are the math/rand functions that build an explicitly
+// seeded generator — the required alternative, not a violation.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Determinism forbids nondeterministic inputs in the packages the harness
+// replays: time.Now/time.Since (inject obs.Clock instead) and the global,
+// process-seeded math/rand functions (use a *rand.Rand seeded from the
+// case seed instead). Methods on an explicitly constructed *rand.Rand are
+// fine — the seed is the caller's responsibility and flows from
+// prop.CaseSeed.
+var Determinism = &Pass{
+	Name: "determinism",
+	Doc:  "deterministic packages must not read the wall clock or global math/rand",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(u *Unit) []Diagnostic {
+	if !deterministicPkgs[u.RelPath()] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := u.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" || obj.Name() == "Since" {
+					out = append(out, Diagnostic{
+						Pass: "determinism",
+						Pos:  u.Fset.Position(id.Pos()),
+						Message: fmt.Sprintf("time.%s in deterministic package: inject obs.Clock "+
+							"so replay and minimization stay bit-identical", obj.Name()),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on *rand.Rand etc. are seeded by construction
+				}
+				if seededConstructors[fn.Name()] {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pass: "determinism",
+					Pos:  u.Fset.Position(id.Pos()),
+					Message: fmt.Sprintf("global %s.%s in deterministic package: use a *rand.Rand "+
+						"seeded from the case seed (prop.CaseSeed)", obj.Pkg().Path(), fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ioPkgs are the packages whose error returns report storage IO outcomes.
+// A dropped error from one of these is exactly the failure class the
+// crash-consistency harness hunts — the Go analog of the checks Miri and
+// Crux run outside the property harness in §5: mechanical, whole-tree, and
+// independent of any particular test's coverage.
+var ioPkgs = map[string]bool{
+	"internal/disk":   true,
+	"internal/extent": true,
+	"internal/chunk":  true,
+}
+
+// DroppedErr flags discarded error results from disk/extent/chunk
+// functions and methods: bare call statements, calls under go/defer, and
+// assignments that blank the error position.
+//
+// The pass covers non-test files only. Tests discard setup errors
+// deliberately when constructing scenarios (a failure there surfaces as an
+// assertion failure two lines later), and the invariant this pass protects
+// — no IO error silently vanishes on a path a crash can interleave with —
+// is a property of production code.
+var DroppedErr = &Pass{
+	Name: "droppederr",
+	Doc:  "disk/extent/chunk IO errors must be handled, not discarded",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(u *Unit) []Diagnostic {
+	if u.XTest {
+		return nil
+	}
+	var out []Diagnostic
+	diag := func(n ast.Node, fn *types.Func, how string) {
+		out = append(out, Diagnostic{
+			Pass: "droppederr",
+			Pos:  u.Fset.Position(n.Pos()),
+			Message: fmt.Sprintf("error from %s discarded%s: dropped disk/extent/chunk IO errors "+
+				"hide the crash-consistency failures the harness hunts", fn.FullName(), how),
+		})
+	}
+	for _, f := range u.Files {
+		if strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn := u.ioCallee(call); fn != nil {
+						diag(n, fn, "")
+					}
+				}
+			case *ast.GoStmt:
+				if fn := u.ioCallee(n.Call); fn != nil {
+					diag(n, fn, " by go statement")
+				}
+			case *ast.DeferStmt:
+				if fn := u.ioCallee(n.Call); fn != nil {
+					diag(n, fn, " by defer")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					call, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := u.ioCallee(call)
+					if fn == nil {
+						return true
+					}
+					res := fn.Type().(*types.Signature).Results()
+					if res.Len() != len(n.Lhs) {
+						return true
+					}
+					for i := 0; i < res.Len(); i++ {
+						if isErrorType(res.At(i).Type()) && isBlank(n.Lhs[i]) {
+							diag(n, fn, " into _")
+						}
+					}
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					fn := u.ioCallee(call)
+					if fn == nil {
+						continue
+					}
+					res := fn.Type().(*types.Signature).Results()
+					if res.Len() == 1 && isErrorType(res.At(0).Type()) && isBlank(n.Lhs[i]) {
+						diag(n, fn, " into _")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ioCallee resolves call's callee and returns it when it is a function or
+// method from an IO package whose results include an error; nil otherwise.
+func (u *Unit) ioCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := u.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	rel := strings.TrimPrefix(fn.Pkg().Path(), u.ModulePath+"/")
+	if !ioPkgs[rel] {
+		return nil
+	}
+	res := fn.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

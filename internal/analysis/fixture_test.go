@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"shardstore/internal/analysis"
+)
+
+// runFixture type-checks files as the package at path (plus any extra
+// overlay packages it imports), runs the single pass through the driver —
+// suppression filtering included — and matches the surviving diagnostics
+// against `// want "regex"` expectation comments in the fixture source.
+// Every diagnostic must be wanted and every want must fire.
+func runFixture(t *testing.T, pass *analysis.Pass, path string, files map[string]string, extra map[string]map[string]string) {
+	t.Helper()
+	overlay := map[string]map[string]string{path: files}
+	for p, fs := range extra {
+		overlay[p] = fs
+	}
+	units, err := analysis.Load(analysis.Config{ModulePath: "shardstore", Overlay: overlay}, path)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := analysis.RunPasses(units, []*analysis.Pass{pass})
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wantRe := regexp.MustCompile(`// want "([^"]*)"`)
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for name, src := range files {
+		for i, line := range strings.Split(src, "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				k := wantKey{name, i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := make(map[wantKey][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: want %q did not fire", k.file, k.line, re)
+			}
+		}
+	}
+}

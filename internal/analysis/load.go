@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked analysis target: a package's source files plus
+// its in-package test files, or a package's external (_test-suffixed
+// package) test files. Passes scope themselves by RelPath.
+type Unit struct {
+	// Path is the package's import path (for an external test unit, the
+	// import path of the package under test).
+	Path string
+	// ModulePath is the enclosing module's path.
+	ModulePath string
+	// XTest marks an external test unit (package foo_test files).
+	XTest bool
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// RelPath returns the unit's path relative to the module root ("" for the
+// module root package itself).
+func (u *Unit) RelPath() string {
+	if u.Path == u.ModulePath {
+		return ""
+	}
+	return strings.TrimPrefix(u.Path, u.ModulePath+"/")
+}
+
+// Config describes where a load finds source.
+type Config struct {
+	// ModuleRoot is the absolute directory containing go.mod. Empty for
+	// overlay-only loads (fixture tests).
+	ModuleRoot string
+	// ModulePath overrides the module path from go.mod; required when
+	// ModuleRoot is empty.
+	ModulePath string
+	// Overlay maps import paths to in-memory file sets (file name →
+	// source). Overlay packages shadow on-disk ones. Fixture tests use
+	// this to compile probe packages without touching the tree.
+	Overlay map[string]map[string]string
+}
+
+// LoadModule loads patterns from the module rooted at root with no overlay.
+func LoadModule(root string, patterns ...string) ([]*Unit, error) {
+	return Load(Config{ModuleRoot: root}, patterns...)
+}
+
+// Load type-checks the packages matched by patterns and returns one Unit
+// per package (plus one per external test package found alongside it).
+// Supported patterns: "./..." for every package in the module, a
+// "./"-prefixed directory relative to the module root, or a full import
+// path. Stdlib dependencies are type-checked from GOROOT source; module
+// dependencies are resolved inside the module, so no go command and no
+// export data are needed.
+func Load(cfg Config, patterns ...string) ([]*Unit, error) {
+	ld := &loader{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	if cfg.ModuleRoot != "" {
+		abs, err := filepath.Abs(cfg.ModuleRoot)
+		if err != nil {
+			return nil, err
+		}
+		ld.cfg.ModuleRoot = abs
+		if ld.cfg.ModulePath == "" {
+			mp, err := modulePath(filepath.Join(abs, "go.mod"))
+			if err != nil {
+				return nil, err
+			}
+			ld.cfg.ModulePath = mp
+		}
+	}
+	if ld.cfg.ModulePath == "" {
+		return nil, fmt.Errorf("analysis: Config needs ModuleRoot or ModulePath")
+	}
+
+	paths, err := ld.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	for _, p := range paths {
+		us, err := ld.units(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+type loader struct {
+	cfg     Config
+	fset    *token.FileSet
+	std     types.Importer
+	exports map[string]*types.Package // import-resolution cache (no test files)
+	loading map[string]bool           // cycle guard
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// expand resolves patterns into a sorted list of import paths.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for p := range l.cfg.Overlay {
+				add(p)
+			}
+			if l.cfg.ModuleRoot != "" {
+				dirs, err := l.walkModule()
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range dirs {
+					add(p)
+				}
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel := filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+			if rel == "" || rel == "." {
+				add(l.cfg.ModulePath)
+			} else {
+				add(l.cfg.ModulePath + "/" + rel)
+			}
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkModule lists every package directory in the module, skipping hidden
+// directories, testdata, and vendor, and requiring at least one .go file.
+func (l *loader) walkModule() ([]string, error) {
+	var out []string
+	root := l.cfg.ModuleRoot
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.cfg.ModulePath)
+		} else {
+			out = append(out, l.cfg.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// pkgFiles is a package directory parsed and classified.
+type pkgFiles struct {
+	src    []*ast.File // non-test files
+	intest []*ast.File // _test.go files in the package itself
+	xtest  []*ast.File // _test.go files in package <name>_test
+}
+
+// parseDir parses the files backing an import path — overlay first, then
+// the module directory — classifying them into source, in-package test,
+// and external test files. On-disk files go through go/build's MatchFile so
+// build constraints (e.g. //go:build race) select the default build, same
+// as `go vet` with no tags.
+func (l *loader) parseDir(path string) (*pkgFiles, error) {
+	const mode = parser.ParseComments | parser.SkipObjectResolution
+	pf := &pkgFiles{}
+	classify := func(f *ast.File, fileName string) {
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			pf.xtest = append(pf.xtest, f)
+		case strings.HasSuffix(fileName, "_test.go"):
+			pf.intest = append(pf.intest, f)
+		default:
+			pf.src = append(pf.src, f)
+		}
+	}
+	if ov, ok := l.cfg.Overlay[path]; ok {
+		names := make([]string, 0, len(ov))
+		for name := range ov {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(l.fset, filepath.Join(path, name), ov[name], mode)
+			if err != nil {
+				return nil, err
+			}
+			classify(f, name)
+		}
+		return pf, nil
+	}
+	if l.cfg.ModuleRoot == "" {
+		return nil, fmt.Errorf("package %s not in overlay and no module root configured", path)
+	}
+	dir := l.cfg.ModuleRoot
+	if path != l.cfg.ModulePath {
+		rel := strings.TrimPrefix(path, l.cfg.ModulePath+"/")
+		if rel == path {
+			return nil, fmt.Errorf("import path %s is outside module %s", path, l.cfg.ModulePath)
+		}
+		dir = filepath.Join(dir, filepath.FromSlash(rel))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := ctxt.MatchFile(dir, name); err != nil {
+			return nil, err
+		} else if !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		classify(f, name)
+	}
+	return pf, nil
+}
+
+// Import implements types.Importer. Module-internal and overlay paths are
+// type-checked from source inside this loader (test files excluded, the
+// same view an importing package compiles against); everything else is
+// delegated to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	_, inOverlay := l.cfg.Overlay[path]
+	inModule := path == l.cfg.ModulePath || strings.HasPrefix(path, l.cfg.ModulePath+"/")
+	if !inOverlay && !inModule {
+		return l.std.Import(path)
+	}
+	if pkg, ok := l.exports[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pf, err := l.parseDir(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(pf.src) == 0 {
+		return nil, fmt.Errorf("package %s has no non-test files", path)
+	}
+	pkg, _, err := l.check(path, pf.src, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.exports[path] = pkg
+	return pkg, nil
+}
+
+// check type-checks files as one package. info may be nil for export-only
+// checks.
+func (l *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, *types.Info, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, fmt.Errorf("type errors:\n\t%s", strings.Join(msgs, "\n\t"))
+	}
+	return pkg, info, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// units builds the analysis units for one import path: the package with its
+// in-package test files, and, if present, the external test package.
+func (l *loader) units(path string) ([]*Unit, error) {
+	pf, err := l.parseDir(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(pf.src) == 0 && len(pf.xtest) == 0 && len(pf.intest) == 0 {
+		return nil, fmt.Errorf("no Go files for %s", path)
+	}
+	var units []*Unit
+	if len(pf.src)+len(pf.intest) > 0 {
+		files := append(append([]*ast.File(nil), pf.src...), pf.intest...)
+		info := newInfo()
+		pkg, _, err := l.check(path, files, info)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: path, ModulePath: l.cfg.ModulePath,
+			Fset: l.fset, Files: files, Pkg: pkg, Info: info,
+		})
+	}
+	if len(pf.xtest) > 0 {
+		info := newInfo()
+		pkg, _, err := l.check(path+"_test", pf.xtest, info)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: path, ModulePath: l.cfg.ModulePath, XTest: true,
+			Fset: l.fset, Files: pf.xtest, Pkg: pkg, Info: info,
+		})
+	}
+	return units, nil
+}

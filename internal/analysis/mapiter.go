@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags map iterations in deterministic packages whose order can
+// leak into harness-visible state: bodies that append to a slice (unless
+// the slice is sorted later in the same function), write output, or send
+// on a channel. Go randomizes map iteration order per run, so any of these
+// makes two replays of the same seed diverge — exactly the bit-identical
+// re-execution that minimization depends on (§4.1).
+//
+// Order-insensitive bodies — counters, min/max folds, writes into another
+// map, deletes — are not flagged.
+var MapIter = &Pass{
+	Name: "mapiter",
+	Doc:  "map iteration order must not leak into slices, output, or channels",
+	Run:  runMapIter,
+}
+
+func runMapIter(u *Unit) []Diagnostic {
+	if !deterministicPkgs[u.RelPath()] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, checkFuncMapIter(u, n.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, checkFuncMapIter(u, n.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks n without descending into nested function literals,
+// which are visited as their own functions by runMapIter.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// sortCall is one call to a sort/slices ordering function, with the
+// objects and expression strings appearing in its arguments.
+type sortCall struct {
+	pos  int // token.Pos as int, for "after the loop" ordering
+	objs map[types.Object]bool
+	strs map[string]bool
+}
+
+func checkFuncMapIter(u *Unit, body *ast.BlockStmt) []Diagnostic {
+	var sorts []sortCall
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := u.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		isSort := (obj.Pkg().Path() == "sort" && (obj.Name() == "Strings" || obj.Name() == "Ints" ||
+			obj.Name() == "Float64s" || obj.Name() == "Slice" || obj.Name() == "SliceStable" ||
+			obj.Name() == "Sort" || obj.Name() == "Stable")) ||
+			(obj.Pkg().Path() == "slices" && strings.HasPrefix(obj.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		sc := sortCall{pos: int(call.Pos()), objs: make(map[types.Object]bool), strs: make(map[string]bool)}
+		for _, arg := range call.Args {
+			sc.strs[types.ExprString(arg)] = true
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if o := u.Info.Uses[id]; o != nil {
+						sc.objs[o] = true
+					}
+				}
+				return true
+			})
+		}
+		sorts = append(sorts, sc)
+		return true
+	})
+
+	sortedAfter := func(after ast.Node, target ast.Expr) bool {
+		for _, sc := range sorts {
+			if sc.pos <= int(after.End()) {
+				continue
+			}
+			if id, ok := target.(*ast.Ident); ok {
+				if o := u.Info.Uses[id]; o != nil && sc.objs[o] {
+					return true
+				}
+				if o := u.Info.Defs[id]; o != nil && sc.objs[o] {
+					return true
+				}
+			}
+			if sc.strs[types.ExprString(target)] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Diagnostic
+	diag := func(pos ast.Node, msg string) {
+		out = append(out, Diagnostic{Pass: "mapiter", Pos: u.Fset.Position(pos.Pos()), Message: msg})
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := u.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		inspectShallow(rng.Body, func(bn ast.Node) bool {
+			switch bn := bn.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range bn.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || i >= len(bn.Lhs) {
+						continue
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if b, ok := u.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+						continue
+					}
+					target := bn.Lhs[i]
+					// Only the accumulate pattern `x = append(x, ...)` grows
+					// in iteration order. `m[k] = append([]T(nil), v...)`
+					// copies into a map slot — order-insensitive.
+					if len(call.Args) == 0 || !u.sameTarget(call.Args[0], target) {
+						continue
+					}
+					// Accumulating into a map slot keyed by the iteration
+					// variable builds per-key state, not an ordered list.
+					if u.isMapIndex(target) {
+						continue
+					}
+					if !sortedAfter(rng, target) {
+						diag(bn, fmt.Sprintf("appending to %s while ranging over a map: iteration "+
+							"order is nondeterministic; iterate sorted keys or sort the result "+
+							"before it is observed", types.ExprString(target)))
+					}
+				}
+			case *ast.SendStmt:
+				diag(bn, "channel send inside map iteration: delivery order follows the "+
+					"nondeterministic map order; iterate sorted keys instead")
+			case *ast.CallExpr:
+				if sel, ok := bn.Fun.(*ast.SelectorExpr); ok {
+					obj := u.Info.Uses[sel.Sel]
+					if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+						(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+						diag(bn, fmt.Sprintf("fmt.%s inside map iteration: output order follows the "+
+							"nondeterministic map order; iterate sorted keys instead", obj.Name()))
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// sameTarget reports whether a and b name the same object (for plain
+// identifiers) or print to the same source expression.
+func (u *Unit) sameTarget(a, b ast.Expr) bool {
+	ia, aok := a.(*ast.Ident)
+	ib, bok := b.(*ast.Ident)
+	if aok && bok {
+		oa := u.Info.Uses[ia]
+		ob := u.Info.Uses[ib]
+		if ob == nil {
+			ob = u.Info.Defs[ib]
+		}
+		return oa != nil && oa == ob
+	}
+	return types.ExprString(a) == types.ExprString(b)
+}
+
+// isMapIndex reports whether e indexes into a map.
+func (u *Unit) isMapIndex(e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := u.Info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

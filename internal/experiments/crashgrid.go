@@ -60,9 +60,9 @@ func CrashGrid(w io.Writer, quick bool) error {
 			Workers: Workers,
 		}
 		cfg.StoreConfig.Bugs = bugs
-		start := time.Now()
+		start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		res := core.Run(cfg)
-		c := cell{mode: mode, target: target, cases: res.Cases, crashes: res.Crashes, elapsed: time.Since(start)}
+		c := cell{mode: mode, target: target, cases: res.Cases, crashes: res.Crashes, elapsed: time.Since(start)} //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		if res.Failure != nil {
 			c.found = true
 			c.foundAt = res.Failure.Case + 1

@@ -91,14 +91,14 @@ func Fig5Run(quick bool) ([]Fig5Row, error) {
 		i := pbt[j]
 		row := &rows[i]
 		b := budgets[row.Bug]
-		start := time.Now()
+		start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		res := core.DetectSequentialN(row.Bug, 1234, b.cases, 1)
 		row.Detected = res.Detected
 		row.Effort = fmt.Sprintf("%d/%d sequences", res.CasesNeeded, b.cases)
 		if res.Failure != nil {
 			row.Witness = fmt.Sprintf("minimized to %d ops", len(res.Failure.Minimized))
 		}
-		row.Elapsed = time.Since(start)
+		row.Elapsed = time.Since(start) //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 	})
 
 	for i, info := range all {
@@ -107,14 +107,14 @@ func Fig5Run(quick bool) ([]Fig5Row, error) {
 		}
 		row := &rows[i]
 		b := budgets[info.Bug]
-		start := time.Now()
+		start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		res, rep := core.DetectConcurrent(info.Bug, b.strategy(), b.iterations)
 		row.Detected = res.Detected
 		row.Effort = fmt.Sprintf("%d/%d interleavings", res.CasesNeeded, b.iterations)
 		if f := rep.First(); f != nil {
 			row.Witness = fmt.Sprintf("%v, %d scheduling points", f.Kind, len(f.Trace))
 		}
-		row.Elapsed = time.Since(start)
+		row.Elapsed = time.Since(start) //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 	}
 	return rows, nil
 }

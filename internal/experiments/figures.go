@@ -118,12 +118,12 @@ func Fig3(w io.Writer, quick bool) error {
 	if quick {
 		cases = 200
 	}
-	start := time.Now()
+	start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 	res := core.RunIndexConformance(core.IndexConfig{
 		Seed: 11, Cases: cases, OpsPerCase: 30, Bias: core.DefaultBias(), Minimize: true,
 		Workers: Workers,
 	})
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 	tb := newTable("metric", "value")
 	tb.add("sequences", fmt.Sprint(res.Cases))
 	tb.add("operations", fmt.Sprint(res.Ops))
@@ -157,9 +157,9 @@ func Fig4(w io.Writer, quick bool) error {
 	body := core.Fig4Harness(faults.NewSet())
 	tb := newTable("strategy", "interleavings", "sched points", "wall time", "failures")
 	for _, s := range []shuttle.Strategy{shuttle.NewRandom(3), shuttle.NewPCT(3, 3, 4000)} {
-		start := time.Now()
+		start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		rep := shuttle.Explore(shuttle.Options{Strategy: s, Iterations: iters}, body)
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		tb.add(s.Name(), fmt.Sprint(rep.Iterations), fmt.Sprint(rep.TotalSteps), fmtDuration(elapsed), fmt.Sprint(len(rep.Failures)))
 		if rep.Failed() {
 			tb.write(w)

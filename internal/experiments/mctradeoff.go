@@ -53,11 +53,11 @@ func MCTradeoff(w io.Writer, quick bool) error {
 		}
 	}
 	dfs := shuttle.NewDFS()
-	start := time.Now()
+	start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 	rep := shuttle.Explore(shuttle.Options{Strategy: dfs, Iterations: 500000}, onceCell)
 	tb := newTable("strategy", "interleavings", "sched points", "exhausted", "failures", "wall time")
 	tb.add("dfs (sound)", fmt.Sprint(rep.Iterations), fmt.Sprint(rep.TotalSteps),
-		fmt.Sprint(rep.Exhausted), fmt.Sprint(len(rep.Failures)), fmtDuration(time.Since(start)))
+		fmt.Sprint(rep.Exhausted), fmt.Sprint(len(rep.Failures)), fmtDuration(time.Since(start))) //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 	tb.write(w)
 	if rep.Failed() {
 		return fmt.Errorf("mctradeoff: once-cell failed: %v", rep.First())
@@ -117,14 +117,14 @@ func MCTradeoff(w io.Writer, quick bool) error {
 	body := core.Fig4Harness(faults.NewSet())
 	tb3 := newTable("strategy", "interleavings", "sched points", "steps/interleaving", "wall time", "failures")
 	for _, s := range []shuttle.Strategy{shuttle.NewRandom(3), shuttle.NewPCT(3, 3, 4000)} {
-		start := time.Now()
+		start := time.Now() //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		rep := shuttle.Explore(shuttle.Options{Strategy: s, Iterations: iters}, body)
 		per := int64(0)
 		if rep.Iterations > 0 {
 			per = rep.TotalSteps / int64(rep.Iterations)
 		}
 		tb3.add(s.Name(), fmt.Sprint(rep.Iterations), fmt.Sprint(rep.TotalSteps),
-			fmt.Sprint(per), fmtDuration(time.Since(start)), fmt.Sprint(len(rep.Failures)))
+			fmt.Sprint(per), fmtDuration(time.Since(start)), fmt.Sprint(len(rep.Failures))) //shardlint:allow determinism wall-clock experiment timing column, not a replayed path
 		if rep.Failed() {
 			return fmt.Errorf("mctradeoff: clean fig4 failed under %s: %v", s.Name(), rep.First())
 		}

@@ -358,7 +358,9 @@ func (m *Manager) Append(label string, ext disk.ExtentID, data []byte, waits ...
 	}
 	wdep := m.sched.Write(label, ext, off, data, allWaits...)
 	ptrDep := m.stagePtrLocked()
-	m.maybeAutoFlushLocked()
+	if err := m.maybeAutoFlushLocked(); err != nil {
+		return 0, nil, fmt.Errorf("auto-flush after append: %w", err)
+	}
 	if m.bugs.Enabled(faults.Bug8CacheWriteMissingDep) {
 		// Seeded bug #8: the write's dependency omitted the soft write
 		// pointer update, so a crash could persist the data while the
@@ -432,7 +434,9 @@ func (m *Manager) Reset(ext disk.ExtentID, waits ...*dep.Dependency) (*dep.Depen
 		m.resetGates[ext] = resetDep
 	}
 	m.cov.Hit("extent.reset")
-	m.maybeAutoFlushLocked()
+	if err := m.maybeAutoFlushLocked(); err != nil {
+		return nil, fmt.Errorf("auto-flush after reset: %w", err)
+	}
 	return resetDep, nil
 }
 
@@ -497,11 +501,15 @@ func (m *Manager) OwnedExtents(owner Owner) []disk.ExtentID {
 }
 
 // maybeAutoFlushLocked flushes the superblock when enough mutations are
-// staged. Caller holds m.mu.
-func (m *Manager) maybeAutoFlushLocked() {
+// staged. Caller holds m.mu. The flush error propagates: an auto-flush is
+// the same durability-critical write as an explicit Flush, just triggered
+// by the staging watermark instead of the caller.
+func (m *Manager) maybeAutoFlushLocked() error {
 	if m.autoFlush > 0 && m.poolUsed >= m.autoFlush {
-		_, _ = m.flushLocked()
+		_, err := m.flushLocked()
+		return err
 	}
+	return nil
 }
 
 // Flush serializes the full pointer + ownership table into a new superblock

@@ -375,3 +375,37 @@ func TestBug6OwnershipNotRewrittenAfterReboot(t *testing.T) {
 		t.Fatal("session-1 ownership should survive")
 	}
 }
+
+// TestAutoFlushPropagation pins the auto-flush contract on the mutation
+// paths: once the staging watermark is reached, Append and Reset flush the
+// superblock inline and — since the flush is the same durability-critical
+// write as an explicit Flush — propagate its error instead of discarding
+// it (the droppederr fix). With a healthy disk the error is nil and the
+// staged mutations must be gone.
+func TestAutoFlushPropagation(t *testing.T) {
+	d, err := disk.New(disk.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dep.NewScheduler(d, nil)
+	m, err := NewManager(s, Config{AutoFlushThreshold: 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := m.Allocate(OwnerData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Append("chunk", ext, []byte("abc")); err != nil {
+		t.Fatalf("append with auto-flush: %v", err)
+	}
+	if m.StagedMutations() {
+		t.Fatal("append at the watermark must auto-flush the staged mutations")
+	}
+	if _, err := m.Reset(ext); err != nil {
+		t.Fatalf("reset with auto-flush: %v", err)
+	}
+	if m.StagedMutations() {
+		t.Fatal("reset at the watermark must auto-flush the staged mutations")
+	}
+}

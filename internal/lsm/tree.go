@@ -441,14 +441,21 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 	future := t.future
 	t.future = nil
 	entries := make([]Entry, 0, len(gen))
-	var waits []*dep.Dependency
 	for k, e := range gen {
 		entries = append(entries, Entry{Key: k, Value: e.value, Tombstone: e.tombstone})
-		if e.wait != nil && e.wait != dep.Resolved() {
-			waits = append(waits, e.wait)
-		}
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	// Collect the flush dependencies in sorted-key order, not memtable
+	// iteration order: the memtable is a map, and Go randomizes map order
+	// per run, so building waits inside the range above would leak that
+	// randomization into the dependency graph and break bit-identical
+	// replay of a failing case.
+	var waits []*dep.Dependency
+	for _, ent := range entries {
+		if w := gen[ent.Key].wait; w != nil && w != dep.Resolved() {
+			waits = append(waits, w)
+		}
+	}
 	seq := t.runSeq
 	t.runSeq++
 	needCompact := len(t.runs)+1 > t.cfg.MaxRuns

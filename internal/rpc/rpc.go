@@ -539,7 +539,7 @@ func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil { //shardlint:allow determinism socket deadlines are wire-level wall time, not harness state
 			return nil, err
 		}
 		defer c.conn.SetDeadline(time.Time{})

@@ -23,6 +23,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== shardlint ./... (validation-stack soundness: syncusage, determinism, mapiter, droppederr)"
+go run ./cmd/shardlint ./...
+
 echo "== go build ./..."
 go build ./...
 

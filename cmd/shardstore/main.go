@@ -14,6 +14,7 @@
 //	shardstore -connect 127.0.0.1:7420 put  shard-1 "hello"
 //	shardstore -connect 127.0.0.1:7420 get  shard-1
 //	shardstore -connect 127.0.0.1:7420 del  shard-1
+//	shardstore -connect 127.0.0.1:7420 mget shard-1 shard-2 shard-3
 //	shardstore -connect 127.0.0.1:7420 list
 //	shardstore -connect 127.0.0.1:7420 stats
 //	shardstore -connect 127.0.0.1:7420 metrics
@@ -30,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -210,10 +212,15 @@ func runServer(addr string, disks int, maintenance, scrubInterval time.Duration,
 
 func runClient(addr string, args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | list | stats | metrics | flush <disk> | scrub <disk> | scrub-status <disk>")
+		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | mget <id>... | mdel <id>... | list | stats | metrics | flush <disk> | scrub <disk> | scrub-status <disk>")
 		os.Exit(2)
 	}
-	c, err := rpc.Dial(addr)
+	// Every RPC call takes a context; bound the whole CLI interaction so a
+	// wedged server cannot hang the tool (the v2 client survives the expiry —
+	// not that a one-shot CLI cares, but it is the idiom).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := rpc.DialContext(ctx, addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dial: %v\n", err)
 		os.Exit(1)
@@ -231,34 +238,60 @@ func runClient(addr string, args []string) {
 		if len(args) != 3 {
 			fail(fmt.Errorf("usage: put <id> <value>"))
 		}
-		fail(c.Put(args[1], []byte(args[2])))
+		fail(c.Put(ctx, args[1], []byte(args[2])))
 		fmt.Println("ok")
 	case "get":
 		if len(args) != 2 {
 			fail(fmt.Errorf("usage: get <id>"))
 		}
-		v, err := c.Get(args[1])
+		v, err := c.Get(ctx, args[1])
 		fail(err)
 		fmt.Printf("%s\n", v)
 	case "del":
 		if len(args) != 2 {
 			fail(fmt.Errorf("usage: del <id>"))
 		}
-		fail(c.Delete(args[1]))
+		fail(c.Delete(ctx, args[1]))
 		fmt.Println("ok")
+	case "mget":
+		if len(args) < 2 {
+			fail(fmt.Errorf("usage: mget <id>..."))
+		}
+		res, err := c.MGet(ctx, args[1:])
+		fail(err)
+		for i, r := range res {
+			if r.Err != nil {
+				fmt.Printf("%s: error: %v\n", args[1+i], r.Err)
+			} else {
+				fmt.Printf("%s: %s\n", args[1+i], r.Value)
+			}
+		}
+	case "mdel":
+		if len(args) < 2 {
+			fail(fmt.Errorf("usage: mdel <id>..."))
+		}
+		errs, err := c.MDelete(ctx, args[1:])
+		fail(err)
+		for i, e := range errs {
+			if e != nil {
+				fmt.Printf("%s: error: %v\n", args[1+i], e)
+			} else {
+				fmt.Printf("%s: ok\n", args[1+i])
+			}
+		}
 	case "list":
-		ids, err := c.List()
+		ids, err := c.List(ctx)
 		fail(err)
 		for _, id := range ids {
 			fmt.Println(id)
 		}
 	case "stats":
-		s, err := c.Stats()
+		s, err := c.Stats(ctx)
 		fail(err)
 		fmt.Printf("disks=%d shards=%d per-disk=%v in-service=%v scrub-rounds=%v scrub-repaired=%v scrub-lost=%v\n",
 			s.Disks, s.Shards, s.ShardsPer, s.InService, s.ScrubRounds, s.ScrubRepaired, s.ScrubLost)
 	case "metrics":
-		snap, err := c.Metrics()
+		snap, err := c.Metrics(ctx)
 		fail(err)
 		fmt.Print(obs.FormatSnapshot(*snap, obs.UnitNanos))
 	case "flush":
@@ -266,7 +299,7 @@ func runClient(addr string, args []string) {
 		if len(args) == 2 {
 			_, _ = fmt.Sscanf(args[1], "%d", &d)
 		}
-		fail(c.Flush(d))
+		fail(c.Flush(ctx, d))
 		fmt.Println("ok")
 	case "scrub", "scrub-status":
 		var d int
@@ -276,9 +309,9 @@ func runClient(addr string, args []string) {
 		var s *rpc.ScrubStatus
 		var err error
 		if args[0] == "scrub" {
-			s, err = c.Scrub(d)
+			s, err = c.Scrub(ctx, d)
 		} else {
-			s, err = c.ScrubStatus(d)
+			s, err = c.ScrubStatus(ctx, d)
 		}
 		fail(err)
 		fmt.Printf("rounds=%d scanned=%d verified=%d bad=%d repaired=%d irreparable=%d lost=%v\n",

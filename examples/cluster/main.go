@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -52,24 +53,37 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("storage host up: %d disks\n", disks)
 
+	ctx := context.Background()
 	c, err := rpc.Dial(addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
-	// Request plane: shards steered to disks by ID.
+	// Request plane: shards steered to disks by ID, written as one batched
+	// MPut frame — the server fans the items out across disks and answers
+	// with per-item status codes.
 	values := map[string][]byte{}
+	var batchIDs []string
+	var batchVals [][]byte
 	for i := 0; i < 24; i++ {
 		id := fmt.Sprintf("shard-%04x", i*2654435761%65536)
 		v := bytes.Repeat([]byte{byte(i + 1)}, 64+i*16)
 		values[id] = v
-		if err := c.Put(id, v); err != nil {
-			log.Fatal(err)
+		batchIDs = append(batchIDs, id)
+		batchVals = append(batchVals, v)
+	}
+	perItem, err := c.MPut(ctx, batchIDs, batchVals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range perItem {
+		if e != nil {
+			log.Fatalf("mput %s: %v", batchIDs[i], e)
 		}
 	}
-	stats, _ := c.Stats()
-	fmt.Printf("stored %d shards, steering spread across disks: %v\n", stats.Shards, stats.ShardsPer)
+	stats, _ := c.Stats(ctx)
+	fmt.Printf("stored %d shards in one MPut frame, steering spread across disks: %v\n", stats.Shards, stats.ShardsPer)
 
 	// Integrity: rot one replica of a shard on its disk's durable image —
 	// no IO error, the bytes just change — then scrub. The scrubber catches
@@ -112,61 +126,65 @@ func main() {
 		log.Fatal("corruption injection refused")
 	}
 	fmt.Printf("rotted one replica of %s; scrubbing its disk ...\n", victim)
-	status, err := c.Scrub(diskIdx)
+	status, err := c.Scrub(ctx, diskIdx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("scrub: bad replicas=%d repaired=%d irreparable=%d\n",
 		status.BadReplicas, status.Repaired, status.Irreparable)
-	got, err := c.Get(victim)
+	got, err := c.Get(ctx, victim)
 	if err != nil || !bytes.Equal(got, values[victim]) {
 		log.Fatalf("read after repair: %v", err)
 	}
 	fmt.Printf("%s reads back intact after repair\n", victim)
 
 	// Control plane: bulk repair traffic.
-	if err := c.BulkCreate([]string{"repair-a", "repair-b"}, [][]byte{{1}, {2}}); err != nil {
+	if err := c.BulkCreate(ctx, []string{"repair-a", "repair-b"}, [][]byte{{1}, {2}}); err != nil {
 		log.Fatal(err)
 	}
-	if err := c.BulkRemove([]string{"repair-a"}); err != nil {
+	if err := c.BulkRemove(ctx, []string{"repair-a"}); err != nil {
 		log.Fatal(err)
 	}
 
 	// Take a disk out of service and bring it back — its shards must
 	// survive the cycle (the paper's bug #4 was exactly this going wrong).
 	fmt.Println("cycling disk 0 out of and back into service ...")
-	if err := c.RemoveDisk(0); err != nil {
+	if err := c.RemoveDisk(ctx, 0); err != nil {
 		log.Fatal(err)
 	}
-	if err := c.ReturnDisk(0); err != nil {
+	if err := c.ReturnDisk(ctx, 0); err != nil {
 		log.Fatal(err)
 	}
 
-	// Verify every shard, in sorted order so the cache hit/miss pattern (and
-	// therefore the metrics table below) is identical on every run.
+	// Verify every shard with one batched MGet, in sorted order so the cache
+	// hit/miss pattern (and therefore the metrics table below) is identical on
+	// every run. Per-item outcomes: a lost shard fails its own slot only.
 	ids := make([]string, 0, len(values))
 	for id := range values {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	results, err := c.MGet(ctx, ids)
+	if err != nil {
+		log.Fatal(err)
+	}
 	lost := 0
-	for _, id := range ids {
-		got, err := c.Get(id)
-		if err != nil || !bytes.Equal(got, values[id]) {
-			fmt.Printf("  LOST %s: %v\n", id, err)
+	for i, id := range ids {
+		if results[i].Err != nil || !bytes.Equal(results[i].Value, values[id]) {
+			fmt.Printf("  LOST %s: %v\n", id, results[i].Err)
 			lost++
 		}
 	}
 	if lost == 0 {
-		fmt.Printf("all %d shards intact after the service cycle\n", len(values))
+		fmt.Printf("all %d shards intact after the service cycle (one MGet frame)\n", len(values))
 	}
 
-	listed, _ := c.List()
+	listed, _ := c.List(ctx)
 	fmt.Printf("control-plane listing sees %d shards (incl. repair-b)\n", len(listed))
 
 	// Flush all disks to durability before shutdown.
 	for i := 0; i < disks; i++ {
-		if err := c.Flush(i); err != nil {
+		if err := c.Flush(ctx, i); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -175,7 +193,7 @@ func main() {
 	// End-of-run observability: one merged snapshot of the whole node. On the
 	// logical clock every figure here — counts and tick quantiles alike — is
 	// deterministic.
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -235,6 +235,12 @@ func (s *Store) newUUID() UUID {
 	if s.cfg.UUIDGen != nil {
 		return s.cfg.UUIDGen()
 	}
+	// The rng is shared mutable state: put() calls newUUID before taking the
+	// store lock, and concurrent puts to the same disk (the rpc server's
+	// pipelined dispatch) would otherwise race on it — as would Reseed's
+	// pointer swap.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var u UUID
 	if s.cfg.UUIDZeroBias > 0 && s.rng.Float64() < s.cfg.UUIDZeroBias {
 		return u

@@ -225,6 +225,14 @@ type execState struct {
 	injected uint64
 }
 
+// kv exposes the node under test through the same narrow store.KV interface
+// the RPC server accepts. Request-plane ops (Get/Put/Delete/List) go through
+// this seam so the harness conformance-checks any KV implementation, not just
+// *store.Store; control-plane ops (flush, compaction, reclamation, scrub,
+// service transitions) stay on the concrete type because they are specific to
+// this node's internals.
+func (es *execState) kv() store.KV { return es.st }
+
 // outstanding returns the number of injected faults that have not yet fired.
 func (es *execState) outstanding() uint64 {
 	consumed := es.d.Stats().InjectedErrs
@@ -318,7 +326,7 @@ func (es *execState) implRead(key string) ([]byte, error) {
 	for attempt := 0; attempt < 4; attempt++ {
 		pending := es.outstanding() > 0
 		var v []byte
-		v, err = es.st.Get(key)
+		v, err = es.kv().Get(key)
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, nil
 		}
@@ -363,7 +371,7 @@ func (es *execState) apply(op Op) error {
 	switch op.Kind {
 	case OpGet:
 		if !es.inService {
-			return es.expectOutOfService(func() error { _, err := es.st.Get(op.Key); return err })
+			return es.expectOutOfService(func() error { _, err := es.kv().Get(op.Key); return err })
 		}
 		got, err := es.implRead(op.Key)
 		gotErr := err != nil
@@ -377,9 +385,9 @@ func (es *execState) apply(op Op) error {
 
 	case OpPut:
 		if !es.inService {
-			return es.expectOutOfService(func() error { _, err := es.st.Put(op.Key, op.Value); return err })
+			return es.expectOutOfService(func() error { _, err := es.kv().Put(op.Key, op.Value); return err })
 		}
-		d, err := es.st.Put(op.Key, op.Value)
+		d, err := es.kv().Put(op.Key, op.Value)
 		if err != nil {
 			if benignResourceErr(err) {
 				return nil // disk full: the put did not take effect
@@ -395,9 +403,9 @@ func (es *execState) apply(op Op) error {
 
 	case OpDelete:
 		if !es.inService {
-			return es.expectOutOfService(func() error { _, err := es.st.Delete(op.Key); return err })
+			return es.expectOutOfService(func() error { _, err := es.kv().Delete(op.Key); return err })
 		}
-		d, err := es.st.Delete(op.Key)
+		d, err := es.kv().Delete(op.Key)
 		if err != nil {
 			if ferr := es.opFailure("Delete", err); ferr != nil {
 				return ferr
@@ -412,7 +420,7 @@ func (es *execState) apply(op Op) error {
 		if !es.inService {
 			return nil
 		}
-		ids, err := es.st.List()
+		ids, err := es.kv().List()
 		if err != nil {
 			return es.opFailure("List", err)
 		}

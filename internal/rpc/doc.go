@@ -1,0 +1,72 @@
+// Package rpc implements ShardStore's shared RPC interface (§2.1 of the
+// paper): storage hosts run an independent key-value store per disk, and a
+// shared endpoint "steers requests to target disks based on shard IDs". The
+// interface offers the request-plane calls (put, get, delete, and their
+// batched mget/mput/mdelete forms) and control-plane operations (list, bulk
+// create/remove, remove/return a disk from service, flush, scrub, stats,
+// metrics).
+//
+// # Wire contract (v2)
+//
+// A v2 connection opens with a 4-byte preamble "S2P\x02". Every frame in
+// either direction then carries a fixed 16-byte header followed by a raw
+// binary payload (values travel as raw bytes — never base64):
+//
+//	offset  size  field
+//	0       1     magic      0xA7
+//	1       1     version    0x02
+//	2       1     opcode     (put=1 get=2 delete=3 list=4 bulk_create=5
+//	                          bulk_remove=6 remove_disk=7 return_disk=8
+//	                          flush=9 stats=10 scrub=11 scrub_status=12
+//	                          metrics=13 mget=14 mput=15 mdelete=16)
+//	3       1     flags      (reserved, 0)
+//	4       8     request id (big-endian; client-assigned, echoed verbatim)
+//	12      4     payload length (big-endian; <= MaxFrame, enforced on
+//	                          write AND read)
+//
+// Requests carry client-assigned IDs and responses may return OUT OF ORDER:
+// one connection is a true pipeline. The server dispatches each request
+// concurrently (bounded per-connection worker semaphore) and a single
+// writer goroutine serializes response frames; the client demultiplexes by
+// request id. A request whose caller gave up (context cancelled or timed
+// out) is simply abandoned — the late response is discarded by the demux
+// loop and the connection stays healthy.
+//
+// Payload scalars are big-endian; strings are u16 length + bytes, values
+// are u32 length + bytes. put/get value bodies are the raw frame tail.
+// Control-plane result blobs (stats, scrub state, metrics snapshots) are
+// JSON inside a u32-length field: they are low-rate and evolve faster than
+// the hot request plane, which never pays for that flexibility.
+//
+// Every response payload begins with a u16 status code followed, when the
+// code is non-zero, by a u16-length message string. Batch responses carry
+// an additional per-item code vector. The code taxonomy is wire-stable:
+//
+//	0 ok              success
+//	1 not_found       the shard id has no live value (ErrNotFound)
+//	2 out_of_service  the steered disk is removed from service
+//	                  (ErrOutOfService)
+//	3 bad_request     malformed frame, unknown opcode, missing or
+//	                  mismatched arguments (ErrBadRequest)
+//	4 internal        the backend failed the operation; the message has
+//	                  detail (ErrInternal)
+//	5 frame_too_large a frame would exceed MaxFrame; raised on the WRITE
+//	                  side before any byte hits the wire (ErrFrameTooLarge)
+//	6 shutdown        the server is draining; retry against another host
+//	                  (ErrShutdown)
+//	7 unsupported     the backend behind this disk does not implement the
+//	                  requested control-plane capability (ErrUnsupported)
+//
+// Clients surface failures as *WireError and match with errors.Is against
+// the sentinel per code — never against message text, which is not part of
+// the contract.
+//
+// # v1 compatibility
+//
+// The legacy protocol (length-prefixed JSON frames, one lock-step
+// request/response pair at a time) is still served: the server sniffs the
+// first four bytes of each connection — a v1 frame starts with a 4-byte
+// length whose first byte is 0x00 or 0x01, which cannot collide with the
+// v2 preamble's 'S'. DialV1 provides the old client for compatibility
+// testing and as the benchmark baseline.
+package rpc

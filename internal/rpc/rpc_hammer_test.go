@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,23 +12,24 @@ import (
 // TestMetricsOp: the metrics op returns the host-wide merged snapshot — the
 // rpc layer's own counters plus every store's registry.
 func TestMetricsOp(t *testing.T) {
+	ctx := context.Background()
 	_, c := newTestServer(t, 2)
 	for i := 0; i < 10; i++ {
-		if err := c.Put(fmt.Sprintf("m-%d", i), []byte("v")); err != nil {
+		if err := c.Put(ctx, fmt.Sprintf("m-%d", i), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Get(fmt.Sprintf("m-%d", i)); err != nil {
+		if _, err := c.Get(ctx, fmt.Sprintf("m-%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Pump both disks so the scheduler's buffered chunk writes actually reach
 	// the disk layer (write metrics are recorded at WriteAt, not at staging).
 	for i := 0; i < 2; i++ {
-		if err := c.Flush(i); err != nil {
+		if err := c.Flush(ctx, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,8 +39,15 @@ func TestMetricsOp(t *testing.T) {
 	if snap.Counters["rpc.requests"] < 20 {
 		t.Fatalf("rpc.requests = %d, want >= 20", snap.Counters["rpc.requests"])
 	}
+	if snap.Counters["rpc.bytes_in"] == 0 || snap.Counters["rpc.bytes_out"] == 0 {
+		t.Fatalf("wire byte counters not recorded: in=%d out=%d",
+			snap.Counters["rpc.bytes_in"], snap.Counters["rpc.bytes_out"])
+	}
 	if h := snap.Histograms["rpc.put_lat"]; h.Count != 10 {
 		t.Fatalf("rpc.put_lat count = %d, want 10", h.Count)
+	}
+	if h := snap.Histograms["rpc.pipeline_depth"]; h.Count == 0 {
+		t.Fatal("rpc.pipeline_depth never observed")
 	}
 	if h := snap.Histograms["disk.write_lat"]; h.Count == 0 {
 		t.Fatal("disk.write_lat never observed — disk registry not merged")
@@ -49,6 +59,7 @@ func TestMetricsOp(t *testing.T) {
 // under -race by the CI obs leg: any unsynchronized read between the snapshot
 // paths and the hot paths shows up here.
 func TestStatsMetricsHammer(t *testing.T) {
+	ctx := context.Background()
 	srv, c := newTestServer(t, 2)
 	addr := srv.ln.Addr().String()
 
@@ -68,16 +79,16 @@ func TestStatsMetricsHammer(t *testing.T) {
 			defer wc.Close()
 			for i := 0; i < opsPer; i++ {
 				id := fmt.Sprintf("h-%d-%d", w, i%8)
-				if err := wc.Put(id, []byte{byte(i)}); err != nil {
+				if err := wc.Put(ctx, id, []byte{byte(i)}); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := wc.Get(id); err != nil && !errors.Is(err, ErrNotFound) {
+				if _, err := wc.Get(ctx, id); err != nil && !errors.Is(err, ErrNotFound) {
 					errs <- err
 					return
 				}
 				if i%5 == 4 {
-					if err := wc.Delete(id); err != nil {
+					if err := wc.Delete(ctx, id); err != nil {
 						errs <- err
 						return
 					}
@@ -96,11 +107,11 @@ func TestStatsMetricsHammer(t *testing.T) {
 			}
 			defer rc.Close()
 			for i := 0; i < opsPer; i++ {
-				if _, err := rc.Stats(); err != nil {
+				if _, err := rc.Stats(ctx); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := rc.Metrics(); err != nil {
+				if _, err := rc.Metrics(ctx); err != nil {
 					errs <- err
 					return
 				}
@@ -116,7 +127,7 @@ func TestStatsMetricsHammer(t *testing.T) {
 	// After the dust settles the merged snapshot must be internally
 	// consistent: rpc saw every request, and the store-level counters bound
 	// the rpc-level ones.
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,5 +136,67 @@ func TestStatsMetricsHammer(t *testing.T) {
 	}
 	if snap.Histograms["store.put_lat"].Count != writers*opsPer {
 		t.Fatalf("store.put_lat count = %d, want %d", snap.Histograms["store.put_lat"].Count, writers*opsPer)
+	}
+}
+
+// TestSharedClientPipelineHammer: the headline v2 concurrency contract — ONE
+// client shared by many goroutines, each keeping a deep pipeline in flight.
+// Run under -race by the CI rpc leg: the demux loop, the pending map, the
+// write mutex, and the server's per-connection worker pool are all exercised
+// simultaneously.
+func TestSharedClientPipelineHammer(t *testing.T) {
+	ctx := context.Background()
+	_, c := newWideServer(t, 4)
+
+	const goroutines = 8
+	const depth = 64
+	const rounds = 4
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Fill the window: depth puts in flight before the first wait.
+				calls := make([]*Call, depth)
+				for i := range calls {
+					id := fmt.Sprintf("hammer-%d-%d", g, i)
+					calls[i] = c.GoPut(id, []byte{byte(g), byte(r), byte(i)})
+				}
+				for i, call := range calls {
+					if _, err := call.Wait(ctx); err != nil {
+						errs <- fmt.Errorf("g%d r%d put %d: %w", g, r, i, err)
+						return
+					}
+				}
+				// Same window shape on the read side, verifying payloads.
+				gets := make([]*Call, depth)
+				for i := range gets {
+					gets[i] = c.GoGet(fmt.Sprintf("hammer-%d-%d", g, i))
+				}
+				for i, call := range gets {
+					v, err := call.Wait(ctx)
+					if err != nil {
+						errs <- fmt.Errorf("g%d r%d get %d: %w", g, r, i, err)
+						return
+					}
+					want := []byte{byte(g), byte(r), byte(i)}
+					if !bytes.Equal(v, want) {
+						errs <- fmt.Errorf("g%d r%d get %d: cross-wired response %v != %v", g, r, i, v, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := c.pendingCount(); n != 0 {
+		t.Fatalf("pending map not drained after hammer: %d", n)
 	}
 }

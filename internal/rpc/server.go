@@ -1,0 +1,770 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/disk"
+	"shardstore/internal/obs"
+	"shardstore/internal/scrub"
+	"shardstore/internal/store"
+)
+
+// connWorkers bounds concurrent dispatch per connection: a pipeline can
+// queue arbitrarily deep, but only this many requests execute at once, so
+// one chatty client cannot monopolize the host's goroutine budget.
+const connWorkers = 32
+
+// ScrubStatus is one disk's cumulative scrubber state: the integrity
+// counters plus the shards currently recorded as irreparably lost.
+type ScrubStatus struct {
+	Rounds         uint64   `json:"rounds"`
+	KeysScanned    uint64   `json:"keys_scanned"`
+	FramesVerified uint64   `json:"frames_verified"`
+	BytesVerified  uint64   `json:"bytes_verified"`
+	BadReplicas    uint64   `json:"bad_replicas"`
+	Repaired       uint64   `json:"repaired"`
+	RepairFailed   uint64   `json:"repair_failed"`
+	SwapLost       uint64   `json:"swap_lost"`
+	Irreparable    uint64   `json:"irreparable"`
+	LostShards     []string `json:"lost_shards,omitempty"`
+}
+
+// Stats is the aggregate server view.
+type Stats struct {
+	Disks         int      `json:"disks"`
+	Shards        int      `json:"shards"`
+	ShardsPer     []int    `json:"shards_per_disk"`
+	InService     []bool   `json:"in_service"`
+	ChunkPuts     []uint64 `json:"chunk_puts"`
+	Reclaims      []uint64 `json:"reclaims"`
+	GetsPerDisk   []uint64 `json:"gets_per_disk"`
+	ScrubRounds   []uint64 `json:"scrub_rounds"`
+	ScrubRepaired []uint64 `json:"scrub_repaired"`
+	ScrubLost     []int    `json:"scrub_lost"` // shards per disk with a standing loss verdict
+}
+
+// Optional control-plane capabilities a store.KV backend may implement.
+// *store.Store implements all of them; a backend that lacks one answers the
+// corresponding op with CodeUnsupported instead of forcing every future
+// backend to fake a scrubber or an IO scheduler.
+type (
+	flusher         interface{ Pump() error }
+	serviceRemover  interface{ RemoveFromService() error }
+	serviceReturner interface {
+		ReturnToService() (*store.Store, error)
+	}
+	scrubBackend interface {
+		ScrubRound() (scrub.Result, error)
+		Scrubber() *scrub.Scrubber
+	}
+	meteredBackend interface {
+		Obs() *obs.Obs
+		Disk() *disk.Disk
+	}
+	chunkStatsBackend interface{ Chunks() *chunk.Store }
+)
+
+// Server hosts one KV backend per disk behind a shared listener, speaking
+// v2 (pipelined binary frames) and v1 (lock-step JSON) per connection.
+type Server struct {
+	mu     sync.Mutex
+	kvs    []store.KV
+	ln     net.Listener
+	wg     sync.WaitGroup
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	// obs meters the rpc layer itself. The server runs on the wall clock by
+	// default; per-store registries keep whatever clock they were built with.
+	obs      *obs.Obs
+	requests *obs.Counter
+	failures *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	inflight *obs.Gauge
+	depth    *obs.Histogram
+	opLat    map[Opcode]*obs.Histogram
+}
+
+// NewServer wraps per-disk stores. The rpc layer meters itself on the wall
+// clock; pass a non-nil o to use a caller-supplied registry (e.g. a logical
+// clock for deterministic output).
+func NewServer(stores []*store.Store, o ...*obs.Obs) *Server {
+	kvs := make([]store.KV, len(stores))
+	for i, st := range stores {
+		kvs[i] = st
+	}
+	return NewServerKV(kvs, o...)
+}
+
+// NewServerKV wraps arbitrary per-disk KV backends (the multi-backend
+// seam). Backends that also implement the optional capability interfaces
+// get the full control plane; the rest serve the request plane only.
+func NewServerKV(kvs []store.KV, o ...*obs.Obs) *Server {
+	var so *obs.Obs
+	if len(o) > 0 && o[0] != nil {
+		so = o[0]
+	} else {
+		so = obs.New(obs.NewWallClock())
+	}
+	s := &Server{
+		kvs:      append([]store.KV(nil), kvs...),
+		conns:    make(map[net.Conn]struct{}),
+		obs:      so,
+		requests: so.Counter("rpc.requests"),
+		failures: so.Counter("rpc.failures"),
+		bytesIn:  so.Counter("rpc.bytes_in"),
+		bytesOut: so.Counter("rpc.bytes_out"),
+		inflight: so.Gauge("rpc.inflight"),
+		depth:    so.Histogram("rpc.pipeline_depth"),
+		opLat:    make(map[Opcode]*obs.Histogram),
+	}
+	for op := opPut; op <= opMDelete; op++ {
+		s.opLat[op] = so.Histogram("rpc." + opName(op) + "_lat")
+	}
+	return s
+}
+
+// Obs returns the server's own observability registry.
+func (s *Server) Obs() *obs.Obs { return s.obs }
+
+// steer picks the disk for a shard id (the §2.1 steering function).
+func (s *Server) steer(shardID string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(shardID))
+	return int(h.Sum32() % uint32(len(s.kvs)))
+}
+
+// Serve starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if !s.track(conn) {
+				_ = conn.Close()
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer s.untrack(conn)
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops the listener, closes open connections, and waits for
+// in-flight work. Requests dispatched after Close begins answer
+// CodeShutdown.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns { //shardlint:allow mapiter every tracked connection is closed; order is unobservable
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn sniffs the protocol version from the connection's first four
+// bytes: the v2 preamble "S2P\x02", or a v1 frame-length prefix (first
+// byte 0x00/0x01 — lengths are capped at MaxFrame).
+func (s *Server) serveConn(conn net.Conn) {
+	var head [4]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return
+	}
+	if head == preambleV2 {
+		s.bytesIn.Add(uint64(len(head)))
+		s.serveConnV2(conn)
+		return
+	}
+	s.serveConnV1(conn, head[:])
+}
+
+// serveConnV1 is the legacy lock-step loop: one frame in, one frame out.
+func (s *Server) serveConnV1(conn net.Conn, head []byte) {
+	for {
+		var req Request
+		if err := readFrameV1(conn, head, &req); err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		head = nil
+		var resp *Response
+		q, err := reqFromV1(&req)
+		if err != nil {
+			resp = &Response{OK: false, Err: err.Error(), Code: CodeBadRequest.String()}
+			s.requests.Inc()
+			s.failures.Inc()
+		} else {
+			resp = respToV1(s.dispatch(q))
+		}
+		if err := writeFrameV1(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// outFrame is one response queued for the connection's writer goroutine.
+type outFrame struct {
+	op      Opcode
+	id      uint64
+	payload []byte
+}
+
+// inFrame is one request queued for the connection's worker pool.
+type inFrame struct {
+	h       header
+	payload []byte
+}
+
+// serveConnV2 runs the pipelined loop: the reader parses frames and hands
+// each request to a bounded worker; one writer goroutine serializes
+// response frames, so responses complete — and return — out of order.
+func (s *Server) serveConnV2(conn net.Conn) {
+	writeCh := make(chan outFrame, connWorkers)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var buf []byte
+		for f := range writeCh {
+			// Write-combining: take every response already queued and emit
+			// them as ONE Write. Under pipelined load this collapses up to
+			// connWorkers response syscalls into a single one.
+			buf, _ = appendFrameV2(buf[:0], f.op, 0, f.id, f.payload)
+		drain:
+			for len(buf) < MaxFrame {
+				select {
+				case more, ok := <-writeCh:
+					if !ok {
+						break drain
+					}
+					buf, _ = appendFrameV2(buf, more.op, 0, more.id, more.payload)
+				default:
+					break drain
+				}
+			}
+			n, err := conn.Write(buf)
+			s.bytesOut.Add(uint64(n))
+			if err != nil {
+				// The connection is gone (oversized frames are impossible
+				// here: encodeResp already guards MaxFrame); drain remaining
+				// frames so handlers never block on a dead writer.
+				for range writeCh {
+				}
+				return
+			}
+		}
+	}()
+
+	// Fixed worker pool: connWorkers goroutines live for the connection's
+	// lifetime instead of one spawn per request — deep pipelines reuse warm
+	// stacks (dispatch recurses into the store; per-request goroutines paid a
+	// stack growth every time). The buffered channel doubles as the dispatch
+	// bound: the reader blocks once connWorkers requests are queued unserved.
+	workCh := make(chan inFrame, connWorkers)
+	var workers sync.WaitGroup
+	var depth atomic.Int64
+	for i := 0; i < connWorkers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for w := range workCh {
+				var p *wireResp
+				q, err := decodeReq(w.h.op, w.payload)
+				if err != nil {
+					p = respErr(CodeBadRequest, err.Error())
+					s.requests.Inc()
+					s.failures.Inc()
+				} else {
+					p = s.dispatch(q)
+				}
+				body, err := encodeResp(w.h.op, p)
+				if err != nil {
+					body, _ = encodeResp(w.h.op, respErr(codeFor(err), err.Error()))
+				}
+				if len(body) > MaxFrame {
+					// E.g. an mget whose aggregate values exceed the frame
+					// cap: answer typed instead of handing the writer an
+					// unsendable frame (which would strand the caller's
+					// request id).
+					body, _ = encodeResp(w.h.op, respErr(CodeFrameTooLarge,
+						fmt.Sprintf("response payload %d > %d", len(body), MaxFrame)))
+				}
+				// A send after the writer bailed is safe: the writer drains
+				// the channel before returning, and it only returns once the
+				// connection is dead.
+				select {
+				case writeCh <- outFrame{op: w.h.op, id: w.h.id, payload: body}:
+				case <-writerDone:
+				}
+				depth.Add(-1)
+				s.inflight.Add(-1)
+			}
+		}()
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		h, payload, err := readFrameV2(br)
+		if err != nil {
+			break
+		}
+		s.bytesIn.Add(uint64(headerSize + len(payload)))
+		s.depth.Observe(uint64(depth.Add(1)))
+		s.inflight.Add(1)
+		workCh <- inFrame{h: h, payload: payload}
+	}
+	close(workCh)
+	workers.Wait()
+	close(writeCh)
+	<-writerDone
+}
+
+// dispatch runs one request through the shared (protocol-neutral) path,
+// metering it.
+func (s *Server) dispatch(q *wireReq) *wireResp {
+	start := s.obs.Now()
+	var p *wireResp
+	if s.isClosed() {
+		p = respErr(CodeShutdown, "server shutting down")
+	} else {
+		p = s.dispatchInner(q)
+	}
+	s.requests.Inc()
+	if p.code != CodeOK {
+		s.failures.Inc()
+	}
+	if h := s.opLat[q.op]; h != nil {
+		h.Observe(s.obs.Now() - start)
+	}
+	if s.obs.Tracing() {
+		outcome := "ok"
+		if p.code != CodeOK {
+			outcome = "err:" + p.code.String()
+		}
+		s.obs.Record("rpc", opName(q.op), q.key, outcome, s.obs.Now()-start)
+	}
+	return p
+}
+
+// kvFor returns the steering target for a request-plane call, or the
+// explicit disk for control-plane calls.
+func (s *Server) kvFor(q *wireReq) (store.KV, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.kvs) == 0 {
+		return nil, 0, errors.New("rpc: no disks")
+	}
+	idx := q.disk
+	if q.key != "" {
+		idx = s.steer(q.key)
+	}
+	if idx < 0 || idx >= len(s.kvs) {
+		return nil, 0, fmt.Errorf("rpc: disk %d out of range", idx)
+	}
+	return s.kvs[idx], idx, nil
+}
+
+// kvForKey steers one shard id (batch items steer independently).
+func (s *Server) kvForKey(key string) (store.KV, error) {
+	kv, _, err := s.kvFor(&wireReq{key: key})
+	return kv, err
+}
+
+// replaceKV swaps the backend for disk idx (after a service-cycle reopen).
+func (s *Server) replaceKV(idx int, kv store.KV) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kvs[idx] = kv
+}
+
+func errResp(err error) *wireResp {
+	return respErr(codeFor(err), err.Error())
+}
+
+func (s *Server) dispatchInner(q *wireReq) *wireResp {
+	kv, idx, err := s.kvFor(q)
+	if err != nil {
+		return respErr(CodeBadRequest, err.Error())
+	}
+	switch q.op {
+	case opPut:
+		if q.key == "" {
+			return respErr(CodeBadRequest, "missing shard_id")
+		}
+		if _, err := kv.Put(q.key, q.value); err != nil {
+			return errResp(err)
+		}
+		return &wireResp{code: CodeOK}
+	case opGet:
+		v, err := kv.Get(q.key)
+		if err != nil {
+			return errResp(err)
+		}
+		return &wireResp{code: CodeOK, value: v}
+	case opDelete:
+		if _, err := kv.Delete(q.key); err != nil {
+			return errResp(err)
+		}
+		return &wireResp{code: CodeOK}
+	case opList:
+		// Control plane: list across all disks.
+		var all []string
+		s.mu.Lock()
+		kvs := append([]store.KV(nil), s.kvs...)
+		s.mu.Unlock()
+		for _, kv := range kvs {
+			ids, err := kv.List()
+			if err != nil {
+				if errors.Is(err, store.ErrOutOfService) {
+					continue
+				}
+				return errResp(err)
+			}
+			all = append(all, ids...)
+		}
+		return &wireResp{code: CodeOK, keys: all}
+	case opBulkCreate:
+		if len(q.keys) != len(q.values) {
+			return respErr(CodeBadRequest, "shards/values mismatch")
+		}
+		// Steer each shard to its disk (fail-fast: control-plane semantics).
+		for i, id := range q.keys {
+			target, err := s.kvForKey(id)
+			if err != nil {
+				return errResp(err)
+			}
+			if _, err := target.Put(id, q.values[i]); err != nil {
+				return errResp(err)
+			}
+		}
+		return &wireResp{code: CodeOK}
+	case opBulkRemove:
+		for _, id := range q.keys {
+			target, err := s.kvForKey(id)
+			if err != nil {
+				return errResp(err)
+			}
+			if _, err := target.BulkRemove([]string{id}); err != nil {
+				return errResp(err)
+			}
+		}
+		return &wireResp{code: CodeOK}
+	case opMGet:
+		return s.mGet(q.keys)
+	case opMPut:
+		if len(q.keys) != len(q.values) {
+			return respErr(CodeBadRequest, "shards/values mismatch")
+		}
+		return s.mMutate(q.keys, q.values, true)
+	case opMDelete:
+		return s.mMutate(q.keys, nil, false)
+	case opRemoveDisk:
+		sr, ok := kv.(serviceRemover)
+		if !ok {
+			return respErr(CodeUnsupported, "backend cannot remove_disk")
+		}
+		if err := sr.RemoveFromService(); err != nil {
+			return errResp(err)
+		}
+		return &wireResp{code: CodeOK}
+	case opReturnDisk:
+		sr, ok := kv.(serviceReturner)
+		if !ok {
+			return respErr(CodeUnsupported, "backend cannot return_disk")
+		}
+		ns, err := sr.ReturnToService()
+		if err != nil {
+			return errResp(err)
+		}
+		s.replaceKV(idx, ns)
+		return &wireResp{code: CodeOK}
+	case opFlush:
+		fl, ok := kv.(flusher)
+		if !ok {
+			return respErr(CodeUnsupported, "backend cannot flush")
+		}
+		if err := fl.Pump(); err != nil {
+			return errResp(err)
+		}
+		return &wireResp{code: CodeOK}
+	case opScrub:
+		sb, ok := kv.(scrubBackend)
+		if !ok {
+			return respErr(CodeUnsupported, "backend cannot scrub")
+		}
+		if _, err := sb.ScrubRound(); err != nil {
+			return errResp(err)
+		}
+		return &wireResp{code: CodeOK, scrub: scrubStatus(sb)}
+	case opScrubStatus:
+		sb, ok := kv.(scrubBackend)
+		if !ok {
+			return respErr(CodeUnsupported, "backend cannot scrub_status")
+		}
+		return &wireResp{code: CodeOK, scrub: scrubStatus(sb)}
+	case opStats:
+		return &wireResp{code: CodeOK, stats: s.stats()}
+	case opMetrics:
+		return &wireResp{code: CodeOK, metrics: s.metrics()}
+	default:
+		return respErr(CodeBadRequest, fmt.Sprintf("unknown opcode %d", q.op))
+	}
+}
+
+// mGet steers each key independently, using the backend's batch entry point
+// per disk when available so a whole per-disk group shares one pass.
+func (s *Server) mGet(keys []string) *wireResp {
+	p := &wireResp{
+		code:      CodeOK,
+		itemCodes: make([]Code, len(keys)),
+		values:    make([][]byte, len(keys)),
+	}
+	for disk, idxs := range s.groupBySteer(keys) {
+		kv := disk.kv
+		if bkv, ok := kv.(store.BatchKV); ok {
+			ids := make([]string, len(idxs))
+			for j, i := range idxs {
+				ids[j] = keys[i]
+			}
+			vals, errs := bkv.GetBatch(ids)
+			for j, i := range idxs {
+				p.itemCodes[i] = codeFor(errs[j])
+				if errs[j] == nil {
+					p.values[i] = vals[j]
+				}
+			}
+			continue
+		}
+		for _, i := range idxs {
+			v, err := kv.Get(keys[i])
+			p.itemCodes[i] = codeFor(err)
+			if err == nil {
+				p.values[i] = v
+			}
+		}
+	}
+	return p
+}
+
+// mMutate implements mput (put=true) and mdelete with per-item outcomes.
+func (s *Server) mMutate(keys []string, values [][]byte, put bool) *wireResp {
+	p := &wireResp{code: CodeOK, itemCodes: make([]Code, len(keys))}
+	for disk, idxs := range s.groupBySteer(keys) {
+		kv := disk.kv
+		bkv, batched := kv.(store.BatchKV)
+		if batched {
+			ids := make([]string, len(idxs))
+			vals := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				ids[j] = keys[i]
+				if put {
+					vals[j] = values[i]
+				}
+			}
+			var errs []error
+			if put {
+				errs = bkv.PutBatch(ids, vals)
+			} else {
+				errs = bkv.DeleteBatch(ids)
+			}
+			for j, i := range idxs {
+				p.itemCodes[i] = codeFor(errs[j])
+			}
+			continue
+		}
+		for _, i := range idxs {
+			var err error
+			if put {
+				_, err = kv.Put(keys[i], values[i])
+			} else {
+				_, err = kv.Delete(keys[i])
+			}
+			p.itemCodes[i] = codeFor(err)
+		}
+	}
+	return p
+}
+
+// steerGroup keys groupBySteer's map by disk index with the KV captured at
+// grouping time, so a concurrent return_disk swap cannot split one batch
+// across two backend generations.
+type steerGroup struct {
+	idx int
+	kv  store.KV
+}
+
+// groupBySteer partitions batch item indices by target disk. Iteration
+// order of the result is irrelevant: every per-item outcome lands at the
+// item's own index.
+func (s *Server) groupBySteer(keys []string) map[steerGroup][]int {
+	s.mu.Lock()
+	kvs := append([]store.KV(nil), s.kvs...)
+	s.mu.Unlock()
+	byDisk := make(map[int][]int)
+	for i, k := range keys {
+		byDisk[s.steer(k)] = append(byDisk[s.steer(k)], i)
+	}
+	out := make(map[steerGroup][]int, len(byDisk))
+	for d, idxs := range byDisk {
+		out[steerGroup{idx: d, kv: kvs[d]}] = idxs
+	}
+	return out
+}
+
+// diskStats is one backend's state captured at a single point: every field
+// is read back to back before the next backend is touched, so the aggregate
+// view cannot interleave one disk's counters with traffic that lands
+// between loop iterations over the same disk.
+type diskStats struct {
+	ids       []string
+	inService bool
+	chunks    struct{ puts, reclaims, gets uint64 }
+	scrub     struct {
+		rounds, repaired uint64
+		lost             int
+	}
+}
+
+func snapshotDisk(kv store.KV) diskStats {
+	var d diskStats
+	ids, err := kv.List()
+	d.ids = ids
+	d.inService = !errors.Is(err, store.ErrOutOfService)
+	if cb, ok := kv.(chunkStatsBackend); ok {
+		cs := cb.Chunks().Stats()
+		d.chunks.puts, d.chunks.reclaims, d.chunks.gets = cs.Puts, cs.Reclaims, cs.Gets
+	}
+	if sb, ok := kv.(scrubBackend); ok {
+		ss := sb.Scrubber().Stats()
+		d.scrub.rounds, d.scrub.repaired = ss.Rounds, ss.Repaired
+		d.scrub.lost = len(sb.Scrubber().LostKeys())
+	}
+	return d
+}
+
+func (s *Server) stats() *Stats {
+	s.mu.Lock()
+	kvs := append([]store.KV(nil), s.kvs...)
+	s.mu.Unlock()
+	// One pass: capture each backend's complete snapshot first, then
+	// aggregate, so every per-disk column in the result describes the same
+	// instant for that disk.
+	snaps := make([]diskStats, len(kvs))
+	for i, kv := range kvs {
+		snaps[i] = snapshotDisk(kv)
+	}
+	out := &Stats{Disks: len(kvs)}
+	for _, d := range snaps {
+		out.InService = append(out.InService, d.inService)
+		out.ShardsPer = append(out.ShardsPer, len(d.ids))
+		out.Shards += len(d.ids)
+		out.ChunkPuts = append(out.ChunkPuts, d.chunks.puts)
+		out.Reclaims = append(out.Reclaims, d.chunks.reclaims)
+		out.GetsPerDisk = append(out.GetsPerDisk, d.chunks.gets)
+		out.ScrubRounds = append(out.ScrubRounds, d.scrub.rounds)
+		out.ScrubRepaired = append(out.ScrubRepaired, d.scrub.repaired)
+		out.ScrubLost = append(out.ScrubLost, d.scrub.lost)
+	}
+	return out
+}
+
+// metrics folds the server's own registry and every metered backend's
+// registry into one host-wide snapshot: counters and gauges add, histograms
+// merge bucket-wise (merge order does not matter — see the associativity
+// property test in internal/obs). Backends sharing one registry are folded
+// once.
+func (s *Server) metrics() *obs.Snapshot {
+	s.mu.Lock()
+	kvs := append([]store.KV(nil), s.kvs...)
+	s.mu.Unlock()
+	merged := s.obs.Snapshot()
+	seen := map[*obs.Obs]bool{s.obs: true}
+	for _, kv := range kvs {
+		mb, ok := kv.(meteredBackend)
+		if !ok {
+			continue
+		}
+		for _, o := range []*obs.Obs{mb.Obs(), mb.Disk().Obs()} {
+			if o == nil || seen[o] {
+				continue
+			}
+			seen[o] = true
+			merged.Merge(o.Snapshot())
+		}
+	}
+	return &merged
+}
+
+// scrubStatus snapshots one backend's scrubber state for the wire.
+func scrubStatus(sb scrubBackend) *ScrubStatus {
+	sc := sb.Scrubber()
+	ss := sc.Stats()
+	return &ScrubStatus{
+		Rounds:         ss.Rounds,
+		KeysScanned:    ss.KeysScanned,
+		FramesVerified: ss.FramesVerified,
+		BytesVerified:  ss.BytesVerified,
+		BadReplicas:    ss.BadReplicas,
+		Repaired:       ss.Repaired,
+		RepairFailed:   ss.RepairFailed,
+		SwapLost:       ss.SwapLost,
+		Irreparable:    ss.Irreparable,
+		LostShards:     sc.LostKeys(),
+	}
+}

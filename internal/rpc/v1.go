@@ -1,0 +1,273 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The legacy v1 protocol: length-prefixed JSON frames, one request/response
+// pair per round trip, shard payloads base64-encoded by encoding/json. Kept
+// as a compatibility shim (the server sniffs the version per connection)
+// and as the lock-step baseline for BenchmarkRPCPipelined.
+
+// Op names a v1 wire operation.
+type Op string
+
+// v1 wire operations.
+const (
+	OpPut         Op = "put"
+	OpGet         Op = "get"
+	OpDelete      Op = "delete"
+	OpList        Op = "list"
+	OpBulkCreate  Op = "bulk_create"
+	OpBulkRemove  Op = "bulk_remove"
+	OpRemoveDisk  Op = "remove_disk"
+	OpReturnDisk  Op = "return_disk"
+	OpFlush       Op = "flush"
+	OpStats       Op = "stats"
+	OpScrub       Op = "scrub"
+	OpScrubStatus Op = "scrub_status"
+	OpMetrics     Op = "metrics"
+)
+
+// opcodeForV1 lowers a v1 op string to the shared dispatch opcode.
+func opcodeForV1(op Op) Opcode {
+	switch op {
+	case OpPut:
+		return opPut
+	case OpGet:
+		return opGet
+	case OpDelete:
+		return opDelete
+	case OpList:
+		return opList
+	case OpBulkCreate:
+		return opBulkCreate
+	case OpBulkRemove:
+		return opBulkRemove
+	case OpRemoveDisk:
+		return opRemoveDisk
+	case OpReturnDisk:
+		return opReturnDisk
+	case OpFlush:
+		return opFlush
+	case OpStats:
+		return opStats
+	case OpScrub:
+		return opScrub
+	case OpScrubStatus:
+		return opScrubStatus
+	case OpMetrics:
+		return opMetrics
+	default:
+		return opInvalid
+	}
+}
+
+// Request is one v1 wire request.
+type Request struct {
+	Op      Op       `json:"op"`
+	ShardID string   `json:"shard_id,omitempty"`
+	Value   []byte   `json:"value,omitempty"`
+	Shards  []string `json:"shards,omitempty"`
+	Values  [][]byte `json:"values,omitempty"`
+	Disk    int      `json:"disk,omitempty"` // control-plane target disk
+}
+
+// Response is one v1 wire response. Code carries the snake_case name of the
+// Code taxonomy (see doc.go).
+type Response struct {
+	OK      bool         `json:"ok"`
+	Err     string       `json:"err,omitempty"`
+	Code    string       `json:"code,omitempty"`
+	Value   []byte       `json:"value,omitempty"`
+	Shards  []string     `json:"shards,omitempty"`
+	Stats   *Stats       `json:"stats,omitempty"`
+	Scrub   *ScrubStatus `json:"scrub,omitempty"`
+	Metrics *jsonRaw     `json:"metrics,omitempty"`
+}
+
+// jsonRaw defers metrics decoding so v1.go does not depend on obs types.
+type jsonRaw = json.RawMessage
+
+// writeFrameV1 sends one length-prefixed JSON frame. MaxFrame is enforced
+// on the write side with the typed error: a client that encodes an
+// oversized request learns immediately instead of hanging the connection
+// (the pre-v2 codec only checked on read).
+func writeFrameV1(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: frame %d > %d", ErrFrameTooLarge, len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrameV1 receives one length-prefixed JSON frame into v. head holds
+// already-sniffed bytes of the length prefix (the server's version sniff
+// consumes them from the socket).
+func readFrameV1(r io.Reader, head []byte, v any) error {
+	var hdr [4]byte
+	copy(hdr[:], head)
+	if len(head) < 4 {
+		if _, err := io.ReadFull(r, hdr[len(head):]); err != nil {
+			return err
+		}
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: frame %d > %d", ErrFrameTooLarge, n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// reqFromV1 lowers a v1 JSON request into the shared dispatch form.
+func reqFromV1(req *Request) (*wireReq, error) {
+	op := opcodeForV1(req.Op)
+	if op == opInvalid {
+		return nil, fmt.Errorf("unknown op %q", req.Op)
+	}
+	return &wireReq{
+		op:     op,
+		key:    req.ShardID,
+		value:  req.Value,
+		keys:   req.Shards,
+		values: req.Values,
+		disk:   req.Disk,
+	}, nil
+}
+
+// respToV1 raises a dispatch result back into the v1 JSON shape.
+func respToV1(p *wireResp) *Response {
+	resp := &Response{OK: p.code == CodeOK}
+	if !resp.OK {
+		resp.Err = p.msg
+		resp.Code = p.code.String()
+		return resp
+	}
+	resp.Value = p.value
+	resp.Shards = p.keys
+	resp.Stats = p.stats
+	resp.Scrub = p.scrub
+	if p.metrics != nil {
+		if blob, err := json.Marshal(p.metrics); err == nil {
+			raw := jsonRaw(blob)
+			resp.Metrics = &raw
+		}
+	}
+	return resp
+}
+
+// ClientV1 is the legacy synchronous client: safe for concurrent use, but
+// calls are serialized over one connection — a full write-then-read round
+// trip holds the lock, so a single connection never has more than one
+// request in flight.
+//
+// Deprecated: use Client (DialContext/Dial), which pipelines.
+type ClientV1 struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// DialV1 connects with the legacy lock-step protocol.
+func DialV1(addr string) (*ClientV1, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientV1{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *ClientV1) Close() error { return c.conn.Close() }
+
+// SetTimeout bounds each subsequent call's full round trip. Unlike the v2
+// client, a timed-out v1 call leaves an unread response in flight: the
+// connection is broken afterwards and must be re-dialed.
+func (c *ClientV1) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Call performs one lock-step round trip.
+func (c *ClientV1) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil { //shardlint:allow determinism socket deadlines are wire-level wall time, not harness state
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrameV1(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrameV1(c.conn, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *ClientV1) do(req *Request) (*Response, error) {
+	resp, err := c.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return resp, wireErr(codeFromString(resp.Code), resp.Err)
+	}
+	return resp, nil
+}
+
+// Put stores a shard.
+func (c *ClientV1) Put(shardID string, value []byte) error {
+	_, err := c.do(&Request{Op: OpPut, ShardID: shardID, Value: value})
+	return err
+}
+
+// Get fetches a shard.
+func (c *ClientV1) Get(shardID string) ([]byte, error) {
+	resp, err := c.do(&Request{Op: OpGet, ShardID: shardID})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Value == nil {
+		return []byte{}, nil
+	}
+	return resp.Value, nil
+}
+
+// Delete removes a shard.
+func (c *ClientV1) Delete(shardID string) error {
+	_, err := c.do(&Request{Op: OpDelete, ShardID: shardID})
+	return err
+}
+
+// List returns all shard ids across disks.
+func (c *ClientV1) List() ([]string, error) {
+	resp, err := c.do(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Shards, nil
+}

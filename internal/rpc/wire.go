@@ -1,0 +1,265 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"shardstore/internal/obs"
+)
+
+// wireReq is the protocol-neutral request: the v2 codec and the v1 JSON
+// shim both lower into it, so the server has exactly one dispatch path.
+type wireReq struct {
+	op     Opcode
+	key    string
+	value  []byte
+	keys   []string
+	values [][]byte
+	disk   int
+}
+
+// wireResp is the protocol-neutral response.
+type wireResp struct {
+	code Code
+	msg  string
+
+	value     []byte       // get
+	keys      []string     // list
+	itemCodes []Code       // mget/mput/mdelete per-item outcomes
+	values    [][]byte     // mget per-item values (parallel to itemCodes)
+	stats     *Stats       // stats
+	scrub     *ScrubStatus // scrub, scrub_status
+	metrics   *obs.Snapshot
+}
+
+func respErr(code Code, msg string) *wireResp { return &wireResp{code: code, msg: msg} }
+
+// encodeReq serializes a request payload (client side).
+func encodeReq(q *wireReq) ([]byte, error) {
+	var w wireBuf
+	switch q.op {
+	case opPut:
+		w.str(q.key)
+		w.b = append(w.b, q.value...) // raw tail: no length, no base64
+	case opGet, opDelete:
+		w.str(q.key)
+	case opList, opStats, opMetrics:
+		// empty payload
+	case opRemoveDisk, opReturnDisk, opFlush, opScrub, opScrubStatus:
+		w.u32(uint32(q.disk))
+	case opBulkCreate, opMPut:
+		if len(q.keys) != len(q.values) {
+			return nil, fmt.Errorf("%w: %d keys, %d values", ErrBadRequest, len(q.keys), len(q.values))
+		}
+		w.u32(uint32(len(q.keys)))
+		for i, k := range q.keys {
+			w.str(k)
+			w.bytes(q.values[i])
+		}
+	case opBulkRemove, opMGet, opMDelete:
+		w.u32(uint32(len(q.keys)))
+		for _, k := range q.keys {
+			w.str(k)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadRequest, q.op)
+	}
+	return w.b, nil
+}
+
+// decodeReq parses a request payload (server side).
+func decodeReq(op Opcode, payload []byte) (*wireReq, error) {
+	q := &wireReq{op: op}
+	r := wireReader{b: payload}
+	var err error
+	switch op {
+	case opPut:
+		if q.key, err = r.str(); err != nil {
+			return nil, err
+		}
+		q.value = r.rest()
+	case opGet, opDelete:
+		if q.key, err = r.str(); err != nil {
+			return nil, err
+		}
+	case opList, opStats, opMetrics:
+	case opRemoveDisk, opReturnDisk, opFlush, opScrub, opScrubStatus:
+		d, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		q.disk = int(d)
+	case opBulkCreate, opMPut:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			k, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			q.keys = append(q.keys, k)
+			q.values = append(q.values, v)
+		}
+	case opBulkRemove, opMGet, opMDelete:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			k, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			q.keys = append(q.keys, k)
+		}
+	default:
+		return nil, fmt.Errorf("unknown opcode %d", op)
+	}
+	return q, nil
+}
+
+// encodeResp serializes a response payload (server side). Layout: u16
+// status code; on failure a message string and nothing else; on success the
+// op-specific body.
+func encodeResp(op Opcode, p *wireResp) ([]byte, error) {
+	var w wireBuf
+	w.u16(uint16(p.code))
+	if p.code != CodeOK {
+		w.str(p.msg)
+		return w.b, nil
+	}
+	switch op {
+	case opGet:
+		w.b = append(w.b, p.value...) // raw tail
+	case opList:
+		w.u32(uint32(len(p.keys)))
+		for _, k := range p.keys {
+			w.str(k)
+		}
+	case opMGet:
+		w.u32(uint32(len(p.itemCodes)))
+		for i, c := range p.itemCodes {
+			w.u16(uint16(c))
+			var v []byte
+			if i < len(p.values) {
+				v = p.values[i]
+			}
+			w.bytes(v)
+		}
+	case opMPut, opMDelete:
+		w.u32(uint32(len(p.itemCodes)))
+		for _, c := range p.itemCodes {
+			w.u16(uint16(c))
+		}
+	case opStats:
+		return appendJSON(w, p.stats)
+	case opScrub, opScrubStatus:
+		return appendJSON(w, p.scrub)
+	case opMetrics:
+		return appendJSON(w, p.metrics)
+	}
+	return w.b, nil
+}
+
+// appendJSON attaches a control-plane blob (stats, scrub state, metrics
+// snapshots are low-rate and structurally rich; JSON keeps them evolvable
+// without a schema change — the hot request plane never goes through here).
+func appendJSON(w wireBuf, v any) ([]byte, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	w.bytes(blob)
+	return w.b, nil
+}
+
+// decodeResp parses a response payload (client side).
+func decodeResp(op Opcode, payload []byte) (*wireResp, error) {
+	r := wireReader{b: payload}
+	c, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	p := &wireResp{code: Code(c)}
+	if p.code != CodeOK {
+		if p.msg, err = r.str(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	switch op {
+	case opGet:
+		p.value = r.rest()
+	case opList:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			k, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			p.keys = append(p.keys, k)
+		}
+	case opMGet:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			c, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			p.itemCodes = append(p.itemCodes, Code(c))
+			p.values = append(p.values, v)
+		}
+	case opMPut, opMDelete:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			c, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			p.itemCodes = append(p.itemCodes, Code(c))
+		}
+	case opStats:
+		p.stats = &Stats{}
+		if err := decodeJSON(&r, p.stats); err != nil {
+			return nil, err
+		}
+	case opScrub, opScrubStatus:
+		p.scrub = &ScrubStatus{}
+		if err := decodeJSON(&r, p.scrub); err != nil {
+			return nil, err
+		}
+	case opMetrics:
+		p.metrics = &obs.Snapshot{}
+		if err := decodeJSON(&r, p.metrics); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func decodeJSON(r *wireReader, v any) error {
+	blob, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, v)
+}

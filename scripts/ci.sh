@@ -38,6 +38,12 @@ go test -race -timeout 600s ./internal/core/... ./internal/coverage/... ./intern
 echo "== go test -race (obs + rpc: registry hot paths vs snapshot/metrics readers)"
 go test -race -timeout 300s ./internal/obs/... ./internal/rpc/...
 
+echo "== rpc v2 hammer -race (one client, 8 goroutines, depth-64 pipelines)"
+go test -race -timeout 300s -run 'TestSharedClientPipelineHammer|TestOutOfOrderCompletion' -count=1 ./internal/rpc/
+
+echo "== rpc v2 throughput gate (pipelined >= 4x lock-step; skipped under -race by design)"
+go test -timeout 300s -run 'TestPipelineThroughputGain' -count=1 -v ./internal/rpc/ | grep -E 'ops/s|ok  |PASS|FAIL'
+
 echo "== observability determinism gate (obs on/off: same verdicts, same disk bytes)"
 go test -run 'TestObservabilityDeterminismGate' -count=1 ./internal/core/
 

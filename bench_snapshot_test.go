@@ -1,0 +1,52 @@
+package shardstore_test
+
+import (
+	"os"
+	"testing"
+
+	"shardstore/internal/benchfmt"
+)
+
+// TestBenchSnapshotCurrent is the CI leg for the committed benchmark
+// snapshot: BENCH_PR6.json must exist, parse under the current schema, and
+// carry the full 1/8/64-writer trajectory for all three write-path
+// disciplines, with the group-commit points actually showing amortization
+// at 8+ writers (fewer syncs per op than the lock-step baseline and mean
+// commit groups wider than one waiter). Regenerate with scripts/bench.sh.
+func TestBenchSnapshotCurrent(t *testing.T) {
+	data, err := os.ReadFile("BENCH_PR6.json")
+	if err != nil {
+		t.Fatalf("committed benchmark snapshot missing: %v (run scripts/bench.sh)", err)
+	}
+	rep, err := benchfmt.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWriters := []int{1, 8, 64}
+	for _, sec := range []struct {
+		name string
+		pts  []benchfmt.Point
+	}{{"baseline", rep.Baseline}, {"group_commit", rep.GroupCommit}, {"rpc", rep.RPC}} {
+		if len(sec.pts) != len(wantWriters) {
+			t.Fatalf("section %q has %d points, want %d", sec.name, len(sec.pts), len(wantWriters))
+		}
+		for i, p := range sec.pts {
+			if p.Writers != wantWriters[i] {
+				t.Fatalf("section %q point %d is writers=%d, want %d", sec.name, i, p.Writers, wantWriters[i])
+			}
+		}
+	}
+	for i, gp := range rep.GroupCommit {
+		if gp.Writers < 8 {
+			continue
+		}
+		bp := rep.Baseline[i]
+		if gp.SyncsPerOp >= bp.SyncsPerOp {
+			t.Errorf("writers=%d: group commit %.3f syncs/op >= baseline %.3f — snapshot shows no amortization",
+				gp.Writers, gp.SyncsPerOp, bp.SyncsPerOp)
+		}
+		if gp.GroupSizeMean <= 1 {
+			t.Errorf("writers=%d: mean group size %.2f <= 1 — snapshot shows no grouping", gp.Writers, gp.GroupSizeMean)
+		}
+	}
+}

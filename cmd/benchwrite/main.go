@@ -1,0 +1,245 @@
+// Command benchwrite measures the write path's durable-put performance and
+// emits the committed benchmark snapshot (BENCH_PR6.json, see
+// internal/benchfmt). It compares the pre-group-commit discipline — every
+// put followed by its own lock-step scheduler pump — against the shared
+// flush barrier, at 1, 8, and 64 concurrent writers, plus the durable-put
+// plane over the v2 RPC protocol. The simulated disk's flush is modeled at
+// a fixed latency so the amortization group commit buys is visible in
+// wall-clock numbers, not only in syncs/op.
+//
+// Usage:
+//
+//	go run ./cmd/benchwrite [-out BENCH_PR6.json] [-puts 40] [-flush-us 300]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"shardstore/internal/benchfmt"
+	"shardstore/internal/disk"
+	"shardstore/internal/obs"
+	"shardstore/internal/rpc"
+	"shardstore/internal/store"
+
+	"context"
+)
+
+func newStore() (*store.Store, error) {
+	cfg := store.Config{Seed: 1}
+	cfg.Disk = disk.Config{PageSize: 128, PagesPerExtent: 512, ExtentCount: 64}
+	cfg.MaxMemEntries = 512
+	cfg.AutoFlushThreshold = 256
+	st, _, err := store.New(cfg)
+	return st, err
+}
+
+// percentiles returns (p50, p99) in microseconds.
+func percentiles(lat []time.Duration) (float64, float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Microsecond)
+	}
+	return p(0.50), p(0.99)
+}
+
+// runWriters drives `writers` goroutines, each performing putsEach durable
+// puts via the put function, and returns the wall time and every per-put
+// latency.
+func runWriters(writers, putsEach int, put func(w, i int) error) (time.Duration, []time.Duration, error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		errs []error
+	)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, putsEach)
+			for i := 0; i < putsEach; i++ {
+				t0 := time.Now()
+				if err := put(w, i); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(errs) > 0 {
+		return 0, nil, errs[0]
+	}
+	return elapsed, lats, nil
+}
+
+func measureBaseline(writers, putsEach int, val []byte) (benchfmt.Point, error) {
+	st, err := newStore()
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	var mu sync.Mutex
+	elapsed, lats, err := runWriters(writers, putsEach, func(w, i int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, err := st.Put(fmt.Sprintf("w%02d-k%02d", w, i%4), val); err != nil {
+			return err
+		}
+		return st.Pump()
+	})
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	p50, p99 := percentiles(lats)
+	total := writers * putsEach
+	return benchfmt.Point{
+		Writers:    writers,
+		PutsPerSec: float64(total) / elapsed.Seconds(),
+		P50Micros:  p50,
+		P99Micros:  p99,
+		SyncsPerOp: float64(st.Disk().Stats().Syncs) / float64(total),
+	}, nil
+}
+
+func measureGroupCommit(writers, putsEach int, val []byte) (benchfmt.Point, error) {
+	st, err := newStore()
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	elapsed, lats, err := runWriters(writers, putsEach, func(w, i int) error {
+		d, err := st.Put(fmt.Sprintf("w%02d-k%02d", w, i%4), val)
+		if err != nil {
+			return err
+		}
+		return st.WaitDurable(d)
+	})
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	p50, p99 := percentiles(lats)
+	total := writers * putsEach
+	pt := benchfmt.Point{
+		Writers:    writers,
+		PutsPerSec: float64(total) / elapsed.Seconds(),
+		P50Micros:  p50,
+		P99Micros:  p99,
+		SyncsPerOp: float64(st.Disk().Stats().Syncs) / float64(total),
+	}
+	gs := st.Obs().Snapshot().Histograms["sched.group_size"]
+	if gs.Count > 0 {
+		pt.GroupSizeMean = float64(gs.Sum) / float64(gs.Count)
+	}
+	return pt, nil
+}
+
+func measureRPC(writers, putsEach int, val []byte) (benchfmt.Point, error) {
+	st, err := newStore()
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	srv := rpc.NewServer([]*store.Store{st}, obs.New(obs.NewWallClock()))
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	defer srv.Close()
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	elapsed, lats, err := runWriters(writers, putsEach, func(w, i int) error {
+		return c.PutDurable(ctx, fmt.Sprintf("w%02d-k%02d", w, i%4), val)
+	})
+	if err != nil {
+		return benchfmt.Point{}, err
+	}
+	p50, p99 := percentiles(lats)
+	total := writers * putsEach
+	return benchfmt.Point{
+		Writers:    writers,
+		PutsPerSec: float64(total) / elapsed.Seconds(),
+		P50Micros:  p50,
+		P99Micros:  p99,
+		SyncsPerOp: float64(st.Disk().Stats().Syncs) / float64(total),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON snapshot here (default stdout)")
+	puts := flag.Int("puts", 320, "total durable puts per measurement (split across writers)")
+	flushUS := flag.Int("flush-us", 300, "modeled device-flush latency in microseconds")
+	flag.Parse()
+
+	flush := time.Duration(*flushUS) * time.Microsecond
+	disk.TestHookPreSync = func() { time.Sleep(flush) }
+	defer func() { disk.TestHookPreSync = nil }()
+
+	val := make([]byte, 64)
+	rep := benchfmt.Report{Schema: benchfmt.Schema, FlushMicros: *flushUS}
+	for _, writers := range []int{1, 8, 64} {
+		// Keep the total op count constant across widths so every point
+		// stresses the same disk footprint; only concurrency varies.
+		putsEach := *puts / writers
+		if putsEach == 0 {
+			putsEach = 1
+		}
+		bp, err := measureBaseline(writers, putsEach, val)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline = append(rep.Baseline, bp)
+		gp, err := measureGroupCommit(writers, putsEach, val)
+		if err != nil {
+			fatal(err)
+		}
+		rep.GroupCommit = append(rep.GroupCommit, gp)
+		rp, err := measureRPC(writers, putsEach, val)
+		if err != nil {
+			fatal(err)
+		}
+		rep.RPC = append(rep.RPC, rp)
+		fmt.Fprintf(os.Stderr, "writers=%-3d baseline %8.0f puts/s (%.2f syncs/op)  group %8.0f puts/s (%.2f syncs/op, mean group %.1f)  rpc %8.0f puts/s\n",
+			writers, bp.PutsPerSec, bp.SyncsPerOp, gp.PutsPerSec, gp.SyncsPerOp, gp.GroupSizeMean, rp.PutsPerSec)
+	}
+	if err := rep.Validate(); err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchwrite: %v\n", err)
+	os.Exit(1)
+}

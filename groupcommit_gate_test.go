@@ -1,0 +1,142 @@
+package shardstore_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"shardstore/internal/disk"
+	"shardstore/internal/store"
+)
+
+// gateGeometry is a roomy disk so the gate never stalls on reclamation.
+func gateStore(t *testing.T) *store.Store {
+	t.Helper()
+	cfg := store.Config{Seed: 1}
+	cfg.Disk = disk.Config{PageSize: 128, PagesPerExtent: 512, ExtentCount: 64}
+	cfg.MaxMemEntries = 512
+	cfg.AutoFlushThreshold = 256
+	st, _, err := store.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGroupCommitThroughputGate is the PR's acceptance gate: with 8
+// concurrent writers and a device flush that costs real time, the
+// group-commit write path must deliver at least 3x the durable-put
+// throughput of the pre-group-commit discipline (every put followed by its
+// own lock-step scheduler pump, write path serialized across the flush),
+// and the amortization must be visible in the scheduler's own metrics —
+// commit groups larger than one waiter and strictly fewer device syncs.
+func TestGroupCommitThroughputGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock throughput gate skipped under -race")
+	}
+	const (
+		writers    = 8
+		putsEach   = 40
+		flushDelay = 300 * time.Microsecond
+	)
+	// Model a device whose cache flush costs real time — the cost group
+	// commit exists to amortize. Both sides of the comparison run against
+	// the same device model.
+	disk.TestHookPreSync = func() { time.Sleep(flushDelay) }
+	defer func() { disk.TestHookPreSync = nil }()
+
+	val := make([]byte, 64)
+
+	// Baseline: the old write path. One put, one pump, scheduler serialized
+	// across the flush (the discipline satellite 1 removed).
+	base := gateStore(t)
+	var mu sync.Mutex
+	baseStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < putsEach; i++ {
+				mu.Lock()
+				if _, err := base.Put(fmt.Sprintf("w%d-k%02d", w, i%4), val); err != nil {
+					mu.Unlock()
+					t.Error(err)
+					return
+				}
+				if err := base.Pump(); err != nil {
+					mu.Unlock()
+					t.Error(err)
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	baseElapsed := time.Since(baseStart)
+	if t.Failed() {
+		t.Fatal("writer failed")
+	}
+	baseSyncs := base.Disk().Stats().Syncs
+
+	// Group commit: concurrent writers enroll in the shared flush barrier.
+	gc := gateStore(t)
+	gcStart := time.Now()
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < putsEach; i++ {
+				d, err := gc.Put(fmt.Sprintf("w%d-k%02d", w, i%4), val)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := gc.WaitDurable(d); err != nil {
+					t.Error(err)
+					return
+				}
+				if !d.IsPersistent() {
+					t.Error("WaitDurable returned before persistence")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	gcElapsed := time.Since(gcStart)
+	if t.Failed() {
+		t.Fatal("writer failed")
+	}
+	gcSyncs := gc.Disk().Stats().Syncs
+
+	total := float64(writers * putsEach)
+	basePutsPerSec := total / baseElapsed.Seconds()
+	gcPutsPerSec := total / gcElapsed.Seconds()
+	snap := gc.Obs().Snapshot()
+	gs := snap.Histograms["sched.group_size"]
+	t.Logf("baseline: %.0f puts/sec (%d syncs); group commit: %.0f puts/sec (%d syncs); speedup %.2fx; group size max=%d mean=%.1f",
+		basePutsPerSec, baseSyncs, gcPutsPerSec, gcSyncs,
+		gcPutsPerSec/basePutsPerSec, gs.Max, float64(gs.Sum)/float64(maxU64(gs.Count, 1)))
+
+	if gs.Count == 0 || gs.Max < 2 {
+		t.Fatalf("no commit group larger than one waiter formed: %+v", gs)
+	}
+	if gcSyncs >= baseSyncs {
+		t.Fatalf("group commit used %d syncs, baseline %d: no amortization", gcSyncs, baseSyncs)
+	}
+	if gcPutsPerSec < 3*basePutsPerSec {
+		t.Fatalf("group commit %.0f puts/sec < 3x baseline %.0f puts/sec", gcPutsPerSec, basePutsPerSec)
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+// Package benchfmt defines the committed benchmark snapshot format
+// (BENCH_PR6.json): cmd/benchwrite emits it, and the CI leg re-parses the
+// committed file against the same schema so the snapshot can never drift
+// from the code that produced it.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Schema identifies the snapshot layout. Bump it whenever the Report shape
+// or the meaning of a field changes; the CI validation test fails on any
+// committed snapshot whose schema string does not match, which is what
+// "the file is current" means mechanically.
+const Schema = "shardstore-bench-pr6/v1"
+
+// Point is one measured write-path configuration.
+type Point struct {
+	// Writers is the number of concurrent durable writers.
+	Writers int `json:"writers"`
+	// PutsPerSec is the end-to-end durable-put throughput.
+	PutsPerSec float64 `json:"puts_per_sec"`
+	// P50Micros / P99Micros are per-put latency percentiles in microseconds.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// SyncsPerOp is device flushes divided by puts — the quantity group
+	// commit amortizes (1.0 ≈ lock-step, →0 as groups widen).
+	SyncsPerOp float64 `json:"syncs_per_op"`
+	// GroupSizeMean is the mean commit-group size (0 for the baseline,
+	// which has no commit groups).
+	GroupSizeMean float64 `json:"group_size_mean,omitempty"`
+}
+
+// Report is the whole snapshot.
+type Report struct {
+	Schema string `json:"schema"`
+	// FlushMicros is the modeled device-flush latency both disciplines ran
+	// against (the simulator's Sync is otherwise instantaneous).
+	FlushMicros int `json:"flush_us"`
+	// Baseline is the per-put lock-step discipline (put, pump, repeat).
+	Baseline []Point `json:"baseline"`
+	// GroupCommit is the shared-flush-barrier discipline.
+	GroupCommit []Point `json:"group_commit"`
+	// RPC is the durable-put path over the v2 wire protocol.
+	RPC []Point `json:"rpc"`
+}
+
+// Validate checks structural integrity: current schema, at least one point
+// per section, and strictly positive throughput and latency everywhere.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q is not current (want %q); regenerate with scripts/bench.sh", r.Schema, Schema)
+	}
+	sections := []struct {
+		name string
+		pts  []Point
+	}{{"baseline", r.Baseline}, {"group_commit", r.GroupCommit}, {"rpc", r.RPC}}
+	for _, sec := range sections {
+		if len(sec.pts) == 0 {
+			return fmt.Errorf("benchfmt: section %q is empty", sec.name)
+		}
+		for _, p := range sec.pts {
+			if p.Writers <= 0 || p.PutsPerSec <= 0 || p.P50Micros <= 0 || p.P99Micros < p.P50Micros {
+				return fmt.Errorf("benchfmt: section %q has an implausible point %+v", sec.name, p)
+			}
+			if p.SyncsPerOp < 0 {
+				return fmt.Errorf("benchfmt: section %q has negative syncs/op %+v", sec.name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a snapshot.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

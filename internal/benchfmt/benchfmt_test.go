@@ -1,0 +1,66 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func goodReport() *Report {
+	pt := Point{Writers: 8, PutsPerSec: 1000, P50Micros: 500, P99Micros: 900, SyncsPerOp: 0.5, GroupSizeMean: 6}
+	return &Report{
+		Schema:      Schema,
+		FlushMicros: 300,
+		Baseline:    []Point{pt},
+		GroupCommit: []Point{pt},
+		RPC:         []Point{pt},
+	}
+}
+
+func TestValidateAcceptsGoodReport(t *testing.T) {
+	if err := goodReport().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"stale-schema", func(r *Report) { r.Schema = "shardstore-bench-pr5/v1" }, "not current"},
+		{"empty-section", func(r *Report) { r.GroupCommit = nil }, "empty"},
+		{"zero-throughput", func(r *Report) { r.Baseline[0].PutsPerSec = 0 }, "implausible"},
+		{"inverted-percentiles", func(r *Report) { r.RPC[0].P99Micros = r.RPC[0].P50Micros / 2 }, "implausible"},
+		{"negative-syncs", func(r *Report) { r.GroupCommit[0].SyncsPerOp = -1 }, "negative"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := goodReport()
+			tc.mut(r)
+			err := r.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	blob, err := json.Marshal(goodReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baseline) != 1 || r.Baseline[0].Writers != 8 {
+		t.Fatalf("round trip lost data: %+v", r)
+	}
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}

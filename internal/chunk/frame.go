@@ -80,18 +80,26 @@ func FrameLen(keyLen, payloadLen int) int {
 
 // EncodeFrame serializes a chunk frame.
 func EncodeFrame(tag Tag, key string, payload []byte, uuid UUID) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, FrameLen(len(key), len(payload))), tag, key, payload, uuid)
+}
+
+// AppendFrame serializes a chunk frame onto dst and returns the extended
+// slice. Callers on the zero-copy write path pass a dst whose capacity
+// already covers the frame plus page padding, so the payload is copied
+// exactly once — out of the caller's buffer into the page-aligned writeback.
+func AppendFrame(dst []byte, tag Tag, key string, payload []byte, uuid UUID) ([]byte, error) {
 	if len(key) > MaxKeyLen {
 		return nil, ErrKeyTooLong
 	}
-	buf := make([]byte, 0, FrameLen(len(key), len(payload)))
-	buf = append(buf, FrameMagic)
+	start := len(dst)
+	buf := append(dst, FrameMagic)
 	buf = append(buf, uuid[:]...)
 	buf = append(buf, byte(tag))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, key...)
 	buf = append(buf, payload...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 	buf = append(buf, uuid[:]...)
 	return buf, nil
 }

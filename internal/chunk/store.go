@@ -357,11 +357,16 @@ func (s *Store) PutAvoiding(tag Tag, key string, payload []byte, avoid []disk.Ex
 func (s *Store) put(tag Tag, key string, payload []byte, forEvacuation bool, avoid map[disk.ExtentID]bool, waits ...*dep.Dependency) (Locator, *dep.Dependency, func(), error) {
 	start := s.obs.Now()
 	uuid := s.newUUID()
-	frame, err := EncodeFrame(tag, key, payload, uuid)
+	// Allocate the frame with page-padded capacity up front: padTo then
+	// extends in place and the buffer passes to the scheduler whole, so the
+	// payload is copied exactly once on its way to the writeback queue.
+	flen := FrameLen(len(key), len(payload))
+	ps := s.pageSize()
+	paddedCap := (flen + ps - 1) / ps * ps
+	frame, err := AppendFrame(make([]byte, 0, paddedCap), tag, key, payload, uuid)
 	if err != nil {
 		return Locator{}, nil, nil, err
 	}
-	flen := len(frame)
 	padded := s.padTo(frame)
 
 	s.mu.Lock()

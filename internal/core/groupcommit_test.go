@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"shardstore/internal/disk"
+	"shardstore/internal/faults"
+	"shardstore/internal/store"
+)
+
+// TestGroupCommitTornBarrierDetected seeds the group-commit defect — the
+// leader skips the device flush but still reports the whole group durable —
+// and requires the §5 persistence check to catch it: a durable-acknowledged
+// put whose pages were still in the volatile disk cache does not survive a
+// crash, contradicting the model's persistence claim.
+func TestGroupCommitTornBarrierDetected(t *testing.T) {
+	cfg := Config{
+		Seed: 1234, Cases: 3000, OpsPerCase: 40,
+		Bias:              DefaultBias(),
+		EnableCrashes:     true,
+		EnableGroupCommit: true,
+		StoreConfig: store.Config{
+			Bugs: faults.NewSet(faults.FaultGroupCommitTornBarrier),
+		},
+		Minimize: true,
+	}
+	res := Run(cfg)
+	if res.Failure == nil {
+		t.Fatalf("torn-barrier fault not detected in %d cases (%d ops, %d crashes)",
+			res.Cases, res.Ops, res.Crashes)
+	}
+	t.Logf("detected in case %d; minimized to %d ops: %v",
+		res.Failure.Case, len(res.Failure.Minimized), res.Failure.MinimizedErr)
+}
+
+// TestGroupCommitConformanceStress runs the full conformance harness with
+// the durability-waiting put in the alphabet: 12k cases across three seeds
+// must stay clean, i.e. group commit changes scheduling and amortization
+// but never a crash-consistency verdict.
+func TestGroupCommitConformanceStress(t *testing.T) {
+	if raceEnabled {
+		t.Skip("12k-case stress skipped under -race; covered by the non-race suite")
+	}
+	seeds := []int64{1234, 77, 20260807}
+	cases := 4000
+	if testing.Short() {
+		seeds = seeds[:1]
+		cases = 1000
+	}
+	for _, seed := range seeds {
+		seed := seed
+		cfg := Config{
+			Seed: seed, Cases: cases, OpsPerCase: 60,
+			Bias:              Bias{KeyReuse: 0.8, PageSizeValues: 0.6, ConstantValueBytes: 0.5, ZeroValues: 0.5, UUIDZeroBias: 0.6},
+			EnableCrashes:     true,
+			EnableReboots:     true,
+			EnableGroupCommit: true,
+			StoreConfig: store.Config{
+				Disk: disk.Config{PageSize: 128, PagesPerExtent: 8, ExtentCount: 8},
+				Bugs: faults.NewSet(),
+			},
+			Minimize: true,
+		}
+		res := Run(cfg)
+		if res.Failure != nil {
+			t.Fatalf("seed %d case %d: %v\nminimized(%d): %v", seed,
+				res.Failure.Case, res.Failure.MinimizedErr, len(res.Failure.Minimized), res.Failure.Minimized)
+		}
+		t.Logf("seed %d: %d cases, %d ops, %d crashes clean", seed, res.Cases, res.Ops, res.Crashes)
+	}
+}

@@ -40,6 +40,9 @@ type Config struct {
 	EnableControlPlane bool
 	// EnableScrub includes integrity-scrub rounds in the alphabet.
 	EnableScrub bool
+	// EnableGroupCommit includes PutDurable in the alphabet: a put that
+	// blocks on the scheduler's group-commit barrier until durable.
+	EnableGroupCommit bool
 	// EnableCorruption includes silent-corruption injection (RotReplica /
 	// RotAll). It arms FaultSilentCorruption in the store's fault set and
 	// defaults StoreConfig.Replicas to 2, so the checked property is the
@@ -399,6 +402,30 @@ func (es *execState) apply(op Op) error {
 			return nil
 		}
 		es.ref.ApplyPut(op.Key, op.Value, d, false)
+		return nil
+
+	case OpPutDurable:
+		if !es.inService {
+			return es.expectOutOfService(func() error { _, err := es.kv().Put(op.Key, op.Value); return err })
+		}
+		d, err := es.kv().Put(op.Key, op.Value)
+		if err != nil {
+			if benignResourceErr(err) {
+				return nil
+			}
+			if ferr := es.opFailure("PutDurable", err); ferr != nil {
+				return ferr
+			}
+			es.ref.ApplyPut(op.Key, op.Value, nil, true)
+			return nil
+		}
+		es.ref.ApplyPut(op.Key, op.Value, d, false)
+		// The write is in the model; now cross the commit barrier. A failed
+		// wait (injected IO fault) leaves the put in-flight, which the model
+		// already tolerates via the dependency's persistence state.
+		if err := es.st.WaitDurable(d); err != nil {
+			return es.opFailure("WaitDurable", err)
+		}
 		return nil
 
 	case OpDelete:

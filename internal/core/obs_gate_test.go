@@ -43,6 +43,14 @@ func TestObservabilityDeterminismGate(t *testing.T) {
 			c.EnableFailures = true
 			c.EnableControlPlane = true
 		}},
+		// Group commit in the alphabet: the barrier's scheduler metrics
+		// (syncs, group sizes, barrier waits) must be as verdict-transparent
+		// as every other probe.
+		{"group-commit", func(c *Config) {
+			c.EnableCrashes = true
+			c.EnableReboots = true
+			c.EnableGroupCommit = true
+		}},
 		// A seeded bug makes the sequence fail: the gate must see the exact
 		// same violation with and without tracing attached.
 		{"failing-verdict", func(c *Config) {

@@ -65,6 +65,10 @@ const (
 	// shard may become unreadable, and a scrub must report it lost rather
 	// than serve rotted bytes.
 	OpRotAll
+	// OpPutDurable writes a shard and then blocks on the group-commit
+	// barrier until its dependency is persistent — the durability-waiting
+	// write path the RPC flagDurable plane uses.
+	OpPutDurable
 
 	numOpKinds
 )
@@ -90,6 +94,7 @@ var opNames = map[OpKind]string{
 	OpScrub:           "Scrub",
 	OpRotReplica:      "RotReplica",
 	OpRotAll:          "RotAll",
+	OpPutDurable:      "PutDurable",
 }
 
 func (k OpKind) String() string {
@@ -157,8 +162,8 @@ type Op struct {
 
 func (o Op) String() string {
 	switch o.Kind {
-	case OpPut:
-		return fmt.Sprintf("Put(%q, %dB)", o.Key, len(o.Value))
+	case OpPut, OpPutDurable:
+		return fmt.Sprintf("%s(%q, %dB)", o.Kind, o.Key, len(o.Value))
 	case OpGet, OpDelete:
 		return fmt.Sprintf("%s(%q)", o.Kind, o.Key)
 	case OpReclaim, OpFailDiskOnce:
@@ -233,6 +238,9 @@ func opWeights(cfg Config) map[OpKind]int {
 	if cfg.EnableScrub {
 		w[OpScrub] = 6
 	}
+	if cfg.EnableGroupCommit {
+		w[OpPutDurable] = 6
+	}
 	if cfg.EnableCorruption {
 		w[OpRotReplica] = 6
 		w[OpRotAll] = 2
@@ -286,7 +294,7 @@ func genOp(r *rand.Rand, cfg Config, st *genState, kind OpKind) Op {
 	switch kind {
 	case OpGet, OpDelete:
 		op.Key = genKey(r, cfg.Bias, st, false)
-	case OpPut:
+	case OpPut, OpPutDurable:
 		op.Key = genKey(r, cfg.Bias, st, true)
 		op.Value = genValue(r, cfg, op.Key)
 		st.keys = append(st.keys, op.Key)
@@ -385,9 +393,16 @@ func ShrinkOp(op Op) []Op {
 		v.Extent = op.Extent / 2
 		out = append(out, v)
 	}
+	// A durable put simplifies to a plain put (drop the barrier wait but
+	// keep the mutation).
+	if op.Kind == OpPutDurable {
+		v := op
+		v.Kind = OpPut
+		out = append(out, v)
+	}
 	// Prefer earlier (simpler) variants: try turning maintenance ops into
 	// no-op-ish Gets.
-	if op.Kind > OpGet && op.Kind != OpPut && op.Kind != OpDirtyReboot && op.Kind != OpCleanReboot {
+	if op.Kind > OpGet && op.Kind != OpPut && op.Kind != OpPutDurable && op.Kind != OpDirtyReboot && op.Kind != OpCleanReboot {
 		v := op
 		v.Kind = OpGet
 		v.Key = "k00"
@@ -411,7 +426,7 @@ func StatsOf(seq []Op) SeqStats {
 	s.Ops = len(seq)
 	for _, op := range seq {
 		switch op.Kind {
-		case OpPut:
+		case OpPut, OpPutDurable:
 			s.Writes++
 			s.BytesWritten += len(op.Value)
 		case OpDirtyReboot:

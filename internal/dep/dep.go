@@ -10,6 +10,13 @@
 // clients can poll Dependency.IsPersistent — the primitive on which the
 // crash-consistency properties of §5 (persistence, forward progress) are
 // specified and checked.
+//
+// Durability-seeking callers do not each pay a device flush: Commit enrolls
+// the caller in the current commit group, and one leader drives issue+sync
+// for the whole group (group commit). Readiness is tracked incrementally —
+// each pending writeback carries a count of unresolved inputs, decremented
+// as inputs become durable — so a scheduling round selects from a ready
+// list instead of rescanning the whole queue.
 package dep
 
 import (
@@ -21,6 +28,8 @@ import (
 
 	"shardstore/internal/coverage"
 	"shardstore/internal/disk"
+	"shardstore/internal/faults"
+	"shardstore/internal/obs"
 	"shardstore/internal/vsync"
 )
 
@@ -53,6 +62,23 @@ type writeback struct {
 	// reset — which waits on the evacuations and reference updates — is
 	// durable.
 	supersededBy *Dependency
+
+	// Incremental readiness tracking. nblock counts the unresolved inputs
+	// (non-durable writebacks and unbound futures) registered at the last
+	// classification; classGen invalidates registrations from earlier
+	// classifications; inReady marks membership in the scheduler ready list.
+	nblock   int
+	classGen uint64
+	inReady  bool
+}
+
+// blockRef records that a pending writeback was counting on some blocker
+// (another writeback, or an unbound future) at classification generation gen.
+// Stale refs — the waiter was reclassified or left statePending — are
+// skipped when the blocker resolves.
+type blockRef struct {
+	wb  *writeback
+	gen uint64
 }
 
 // Dependency is a node in the crash-consistency dependency graph. A
@@ -297,6 +323,45 @@ type Stats struct {
 	DroppedCrash uint64
 }
 
+// schedMetrics holds the obs handles the scheduler hot paths touch, resolved
+// once at construction. All handles are nil-safe, so a scheduler without an
+// Obs meters nothing at zero cost.
+type schedMetrics struct {
+	o           *obs.Obs
+	syncs       *obs.Counter
+	ios         *obs.Counter
+	coalesced   *obs.Counter
+	commits     *obs.Counter
+	followers   *obs.Counter
+	groupSize   *obs.Histogram
+	barrierWait *obs.Histogram
+}
+
+func newSchedMetrics(o *obs.Obs) schedMetrics {
+	return schedMetrics{
+		o:           o,
+		syncs:       o.Counter("sched.syncs"),
+		ios:         o.Counter("sched.ios"),
+		coalesced:   o.Counter("sched.coalesced"),
+		commits:     o.Counter("sched.commits"),
+		followers:   o.Counter("sched.commit_followers"),
+		groupSize:   o.Histogram("sched.group_size"),
+		barrierWait: o.Histogram("sched.barrier_wait"),
+	}
+}
+
+// Options configures optional scheduler integrations: metrics and the seeded
+// fault set. The zero value disables both.
+type Options struct {
+	// Obs receives scheduler metrics: sched.syncs, sched.ios,
+	// sched.coalesced, sched.commits, sched.commit_followers, and the
+	// sched.group_size / sched.barrier_wait histograms. Metering is
+	// count-only and never changes scheduling decisions.
+	Obs *obs.Obs
+	// Bugs gates seeded faults (FaultGroupCommitTornBarrier).
+	Bugs *faults.Set
+}
+
 // Scheduler owns the writeback queue for one disk and enforces dependency
 // ordering (§2.2: "ShardStore's IO scheduler ensures that writebacks respect
 // these dependencies").
@@ -308,11 +373,51 @@ type Scheduler struct {
 	issued []*writeback // issued but not yet durable
 	cov    *coverage.Registry
 	stats  Stats
+
+	// Incremental readiness: ready holds the pending writebacks whose every
+	// input is persistent; blockers and futureWaiters are the reverse edges
+	// along which durability/bind events decrement waiter nblock counts.
+	// Both maps are only ever accessed by key (never iterated), so they add
+	// no ordering nondeterminism.
+	ready         []*writeback
+	blockers      map[uint64][]blockRef
+	futureWaiters map[*Dependency][]blockRef
+
+	// crashEpoch guards the unlocked window of syncOutside: a crash that
+	// interleaves with an in-flight device flush bumps the epoch, and the
+	// flushed batch is then conservatively left non-durable.
+	crashEpoch uint64
+
+	// Group-commit barrier state, under its own lock so enrolment never
+	// contends with the writeback queue.
+	gmu        vsync.Mutex
+	gcond      *vsync.Cond
+	leaderBusy bool
+	enrolled   int
+	commitSeq  uint64
+
+	bugs *faults.Set
+	met  schedMetrics
 }
 
-// NewScheduler creates a scheduler over d.
+// NewScheduler creates a scheduler over d with no optional integrations.
 func NewScheduler(d *disk.Disk, cov *coverage.Registry) *Scheduler {
-	return &Scheduler{d: d, cov: cov}
+	return NewSchedulerOpts(d, cov, Options{})
+}
+
+// NewSchedulerOpts creates a scheduler over d with metrics and seeded-fault
+// integrations.
+func NewSchedulerOpts(d *disk.Disk, cov *coverage.Registry, opts Options) *Scheduler {
+	s := &Scheduler{
+		d:             d,
+		cov:           cov,
+		blockers:      map[uint64][]blockRef{},
+		futureWaiters: map[*Dependency][]blockRef{},
+		bugs:          opts.Bugs,
+		met:           newSchedMetrics(opts.Obs),
+	}
+	s.gcond = vsync.NewCond(&s.gmu)
+	return s
 }
 
 // Disk returns the underlying disk.
@@ -328,7 +433,21 @@ func (s *Scheduler) Stats() Stats {
 // Write enqueues a writeback of data to (ext, off) that may only be issued
 // once every dependency in waits is persistent. It returns the dependency
 // representing this write. label names the write in dependency-graph dumps.
+// The data slice is copied; callers may reuse it.
 func (s *Scheduler) Write(label string, ext disk.ExtentID, off int, data []byte, waits ...*Dependency) *Dependency {
+	return s.enqueue(label, ext, off, append([]byte(nil), data...), waits)
+}
+
+// WriteOwned is Write without the defensive copy: ownership of data
+// transfers to the scheduler, which may hold it until the write is durable
+// and serve reads from it. Callers must not retain or mutate data afterwards.
+// Layers that build a fresh buffer per write (chunk framing, superblock and
+// LSM metadata records) use this to keep the value path copy-free.
+func (s *Scheduler) WriteOwned(label string, ext disk.ExtentID, off int, data []byte, waits ...*Dependency) *Dependency {
+	return s.enqueue(label, ext, off, data, waits)
+}
+
+func (s *Scheduler) enqueue(label string, ext disk.ExtentID, off int, data []byte, waits []*Dependency) *Dependency {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -337,7 +456,7 @@ func (s *Scheduler) Write(label string, ext disk.ExtentID, off int, data []byte,
 		label: label,
 		ext:   ext,
 		off:   off,
-		data:  append([]byte(nil), data...),
+		data:  data,
 		waits: compactDeps(waits),
 	}
 	s.queue = append(s.queue, wb)
@@ -345,6 +464,7 @@ func (s *Scheduler) Write(label string, ext disk.ExtentID, off int, data []byte,
 	if len(s.queue) > s.stats.PendingPeak {
 		s.stats.PendingPeak = len(s.queue)
 	}
+	s.classifyLocked(wb)
 	d := &Dependency{s: s, wbs: []*writeback{wb}, parents: compactDeps(waits)}
 	return d
 }
@@ -357,6 +477,136 @@ func compactDeps(waits []*Dependency) []*Dependency {
 		}
 	}
 	return out
+}
+
+// classifyLocked (re)derives wb's readiness: either every input is already
+// persistent and wb joins the ready list, or a blockRef is registered on each
+// unresolved input so the resolving event can decrement wb.nblock. Caller
+// holds the lock.
+func (s *Scheduler) classifyLocked(wb *writeback) {
+	if wb.state != statePending || wb.inReady {
+		return
+	}
+	wb.classGen++
+	wb.nblock = 0
+	seenDeps := map[*Dependency]bool{}
+	seenWBs := map[uint64]bool{}
+	var visit func(d *Dependency)
+	visit = func(d *Dependency) {
+		if d == nil || d.persistMemo || seenDeps[d] {
+			return
+		}
+		seenDeps[d] = true
+		if d.future {
+			if d.bound == nil {
+				wb.nblock++
+				s.futureWaiters[d] = append(s.futureWaiters[d], blockRef{wb: wb, gen: wb.classGen})
+				return
+			}
+			visit(d.bound)
+			return
+		}
+		for _, b := range d.wbs {
+			switch b.state {
+			case stateDurable:
+			case stateSuperseded:
+				visit(b.supersededBy)
+			default:
+				if !seenWBs[b.id] {
+					seenWBs[b.id] = true
+					wb.nblock++
+					s.blockers[b.id] = append(s.blockers[b.id], blockRef{wb: wb, gen: wb.classGen})
+				}
+			}
+		}
+		for _, p := range d.parents {
+			visit(p)
+		}
+	}
+	for _, w := range wb.waits {
+		visit(w)
+	}
+	if wb.nblock == 0 {
+		s.pushReadyLocked(wb)
+	}
+}
+
+func (s *Scheduler) pushReadyLocked(wb *writeback) {
+	if wb.inReady || wb.state != statePending {
+		return
+	}
+	wb.inReady = true
+	s.ready = append(s.ready, wb)
+}
+
+// filterReadyLocked drops writebacks that left statePending from the ready
+// list (they were issued or superseded).
+func (s *Scheduler) filterReadyLocked() {
+	kept := s.ready[:0]
+	for _, wb := range s.ready {
+		if wb.state == statePending {
+			kept = append(kept, wb)
+			continue
+		}
+		wb.inReady = false
+	}
+	s.ready = kept
+}
+
+// notifyDurableLocked resolves id as a blocker: every valid registration on
+// it has its unresolved-input count decremented, and waiters reaching zero
+// join the ready list.
+func (s *Scheduler) notifyDurableLocked(id uint64) {
+	refs, ok := s.blockers[id]
+	if !ok {
+		return
+	}
+	delete(s.blockers, id)
+	for _, r := range refs {
+		if r.gen != r.wb.classGen || r.wb.state != statePending || r.wb.inReady {
+			continue
+		}
+		r.wb.nblock--
+		if r.wb.nblock <= 0 {
+			s.pushReadyLocked(r.wb)
+		}
+	}
+}
+
+// reclassifyAllLocked re-derives readiness for every pending writeback not
+// already on the ready list. It is the safety net for dependency transitions
+// the incremental tracker cannot observe (a detached future bound outside
+// the scheduler lock); scheduling only falls back to it when the ready list
+// is empty while writebacks remain queued.
+func (s *Scheduler) reclassifyAllLocked() {
+	for _, wb := range s.queue {
+		if !wb.inReady {
+			s.classifyLocked(wb)
+		}
+	}
+}
+
+// issuableSortedLocked returns the ready writebacks in enqueue (id) order —
+// the same order the per-round queue rescan used to yield, which keeps
+// harness rng pairing stable. Caller holds the lock; the returned slice
+// aliases the ready list.
+func (s *Scheduler) issuableSortedLocked() []*writeback {
+	if len(s.ready) == 0 && len(s.queue) > 0 {
+		s.reclassifyAllLocked()
+	}
+	sort.Slice(s.ready, func(i, j int) bool { return s.ready[i].id < s.ready[j].id })
+	return s.ready
+}
+
+// sawUnboundLocked reports whether any queued writeback is blocked on an
+// unbound future (first-obstacle semantics, matching readyLocked).
+func (s *Scheduler) sawUnboundLocked() bool {
+	for _, wb := range s.queue {
+		if _, unbound := wb.readyLocked(); unbound {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadAt reads from the disk with the pending writeback queue overlaid, so
@@ -423,35 +673,27 @@ func (s *Scheduler) Bind(future, real *Dependency) {
 		panic("dep: future already bound")
 	}
 	future.bound = real
-}
-
-// issuableLocked returns the queue indexes of writebacks whose dependencies
-// are persistent. Caller holds the lock.
-func (s *Scheduler) issuableLocked() (idx []int, sawUnbound bool) {
-	for i, wb := range s.queue {
-		ready, unbound := wb.readyLocked()
-		if unbound {
-			sawUnbound = true
-		}
-		if ready {
-			idx = append(idx, i)
+	refs, ok := s.futureWaiters[future]
+	if !ok {
+		return
+	}
+	delete(s.futureWaiters, future)
+	for _, r := range refs {
+		if r.gen == r.wb.classGen && r.wb.state == statePending && !r.wb.inReady {
+			s.classifyLocked(r.wb)
 		}
 	}
-	return idx, sawUnbound
 }
 
-// issueLocked writes the selected queue entries to the disk cache, coalescing
+// issueLocked writes the selected writebacks to the disk cache, coalescing
 // physically adjacent writebacks into single IOs. Returns issued writebacks.
 // Caller holds the lock. Writebacks whose write fails (injected IO errors)
-// remain queued for retry.
-func (s *Scheduler) issueLocked(idx []int) []*writeback {
-	if len(idx) == 0 {
+// remain queued — and on the ready list — for retry.
+func (s *Scheduler) issueLocked(batch []*writeback) []*writeback {
+	if len(batch) == 0 {
 		return nil
 	}
-	batch := make([]*writeback, 0, len(idx))
-	for _, i := range idx {
-		batch = append(batch, s.queue[i])
-	}
+	batch = append([]*writeback(nil), batch...)
 	// Sort the batch by physical position so adjacent writes coalesce.
 	sort.SliceStable(batch, func(i, j int) bool {
 		if batch[i].ext != batch[j].ext {
@@ -460,7 +702,6 @@ func (s *Scheduler) issueLocked(idx []int) []*writeback {
 		return batch[i].off < batch[j].off
 	})
 
-	issuedSet := make(map[uint64]bool)
 	var issued []*writeback
 	for i := 0; i < len(batch); {
 		run := []*writeback{batch[i]}
@@ -470,32 +711,14 @@ func (s *Scheduler) issueLocked(idx []int) []*writeback {
 			run = append(run, batch[j])
 			j++
 		}
-		var buf []byte
-		for _, wb := range run {
-			buf = append(buf, wb.data...)
-		}
-		err := s.d.WriteAt(run[0].ext, run[0].off, buf)
-		if err != nil {
-			s.stats.WriteErrors++
-			s.cov.Hit("sched.write_error")
-			// Leave the whole run queued; transient failures clear and the
-			// writebacks are retried on the next pump.
-		} else {
-			s.stats.IOs++
-			if len(run) > 1 {
-				s.stats.Coalesced += uint64(len(run) - 1)
-				s.cov.Hit("sched.coalesced")
-			}
-			for _, wb := range run {
-				wb.state = stateIssued
-				issuedSet[wb.id] = true
-				issued = append(issued, wb)
-				s.stats.Issued++
-			}
-		}
+		issued = append(issued, s.writeRunLocked(run)...)
 		i = j
 	}
-	if len(issuedSet) > 0 {
+	if len(issued) > 0 {
+		issuedSet := make(map[uint64]bool, len(issued))
+		for _, wb := range issued {
+			issuedSet[wb.id] = true
+		}
 		remaining := s.queue[:0]
 		for _, wb := range s.queue {
 			if !issuedSet[wb.id] {
@@ -503,18 +726,53 @@ func (s *Scheduler) issueLocked(idx []int) []*writeback {
 			}
 		}
 		s.queue = remaining
+		s.filterReadyLocked()
 		s.issued = append(s.issued, issued...)
 	}
 	return issued
 }
 
-// syncLocked makes all issued writebacks durable. Caller holds the lock.
-func (s *Scheduler) syncLocked() error {
-	if err := s.d.Sync(); err != nil {
-		return err
+// writeRunLocked issues one coalesced run and returns the writebacks that
+// made it into the disk cache. A failing multi-writeback run is bisected and
+// the halves retried independently, so a single bad page does not re-defer
+// unrelated adjacent writebacks (a transient fault is consumed by the failed
+// attempt, so the survivors usually land within the same round).
+func (s *Scheduler) writeRunLocked(run []*writeback) []*writeback {
+	var buf []byte
+	for _, wb := range run {
+		buf = append(buf, wb.data...)
 	}
-	s.stats.Syncs++
-	for _, wb := range s.issued {
+	if err := s.d.WriteAt(run[0].ext, run[0].off, buf); err != nil {
+		s.stats.WriteErrors++
+		s.cov.Hit("sched.write_error")
+		if len(run) == 1 {
+			// Leave it queued; transient failures clear and the writeback
+			// is retried on the next pump.
+			return nil
+		}
+		s.cov.Hit("sched.run_split")
+		mid := len(run) / 2
+		issued := s.writeRunLocked(run[:mid])
+		return append(issued, s.writeRunLocked(run[mid:])...)
+	}
+	s.stats.IOs++
+	s.met.ios.Inc()
+	if len(run) > 1 {
+		s.stats.Coalesced += uint64(len(run) - 1)
+		s.met.coalesced.Add(uint64(len(run) - 1))
+		s.cov.Hit("sched.coalesced")
+	}
+	for _, wb := range run {
+		wb.state = stateIssued
+		s.stats.Issued++
+	}
+	return run
+}
+
+// markDurableLocked transitions batch to durable and notifies readiness
+// waiters. Caller holds the lock.
+func (s *Scheduler) markDurableLocked(batch []*writeback) {
+	for _, wb := range batch {
 		wb.state = stateDurable
 		// Durable writebacks never serve reads (the overlay only scans the
 		// pending queue) and never re-issue; releasing their payloads keeps
@@ -524,8 +782,57 @@ func (s *Scheduler) syncLocked() error {
 		wb.waits = nil
 		s.stats.MadeDurable++
 	}
-	s.issued = s.issued[:0]
+	for _, wb := range batch {
+		s.notifyDurableLocked(wb.id)
+	}
+}
+
+// syncOutside makes all issued writebacks durable, holding the scheduler
+// lock only to snapshot and to apply the outcome — the device flush itself
+// runs unlocked, so reads of already-issued data (and new enqueues) proceed
+// during the sync.
+func (s *Scheduler) syncOutside() error {
+	s.mu.Lock()
+	batch := s.issued
+	s.issued = nil
+	epoch := s.crashEpoch
+	s.mu.Unlock()
+
+	err := s.d.Sync()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashEpoch != epoch {
+		// A crash raced the flush. Whatever the flush landed is in the
+		// durable image, but these writebacks may have been torn — leave
+		// them non-durable (persistence stays conservative and monotonic).
+		return err
+	}
+	if err != nil {
+		s.issued = append(batch, s.issued...)
+		return err
+	}
+	s.stats.Syncs++
+	s.met.syncs.Inc()
+	s.markDurableLocked(batch)
 	return nil
+}
+
+// commitSyncOutside is the group leader's sync step. With the seeded
+// FaultGroupCommitTornBarrier it reports the group durable without flushing
+// the device — a torn barrier the §5 persistence check must catch after a
+// crash.
+func (s *Scheduler) commitSyncOutside() error {
+	if s.bugs.Enabled(faults.FaultGroupCommitTornBarrier) {
+		s.mu.Lock()
+		batch := s.issued
+		s.issued = nil
+		s.markDurableLocked(batch)
+		s.mu.Unlock()
+		s.cov.Hit("sched.fault.torn_barrier")
+		return nil
+	}
+	return s.syncOutside()
 }
 
 // Step performs one scheduler round: issue every currently-issuable
@@ -536,18 +843,16 @@ func (s *Scheduler) syncLocked() error {
 func (s *Scheduler) Step() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx, _ := s.issuableLocked()
 	// A writeback only becomes issuable once its inputs are *durable*, so
-	// issuing without syncing is safe: everything in the current cache batch
+	// issuing without syncing is safe: everything in the current ready batch
 	// is mutually unordered.
-	return len(s.issueLocked(idx))
+	return len(s.issueLocked(s.issuableSortedLocked()))
 }
 
 // Sync flushes the disk write cache, making all issued writebacks durable.
+// The device flush runs outside the scheduler critical section.
 func (s *Scheduler) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.syncLocked()
+	return s.syncOutside()
 }
 
 // Pump drives the scheduler to quiescence: repeatedly issue all issuable
@@ -555,19 +860,37 @@ func (s *Scheduler) Sync() error {
 // It returns ErrUnboundFuture if the only obstacle to progress is a future
 // dependency that was never bound, and nil if the queue drained.
 func (s *Scheduler) Pump() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.drive(nil, s.syncOutside)
+}
+
+// drive is the scheduler's issue+sync loop, shared by Pump and the group
+// leader. Each round issues one topological level (the ready list — all
+// mutually unordered) as coalesced batches, then syncs via syncFn with the
+// scheduler lock released. A non-nil stop short-circuits the loop once the
+// caller's durability goal is met.
+func (s *Scheduler) drive(stop func() bool, syncFn func() error) error {
 	failedRounds := 0
 	for {
-		idx, sawUnbound := s.issuableLocked()
-		if len(idx) == 0 {
-			if len(s.issued) > 0 {
-				if err := s.syncLocked(); err != nil {
+		if stop != nil && stop() {
+			return nil
+		}
+		s.mu.Lock()
+		batch := append([]*writeback(nil), s.issuableSortedLocked()...)
+		if len(batch) == 0 {
+			hasIssued := len(s.issued) > 0
+			queued := len(s.queue)
+			sawUnbound := false
+			if !hasIssued && queued > 0 {
+				sawUnbound = s.sawUnboundLocked()
+			}
+			s.mu.Unlock()
+			if hasIssued {
+				if err := syncFn(); err != nil {
 					return err
 				}
 				continue
 			}
-			if len(s.queue) == 0 {
+			if queued == 0 {
 				return nil
 			}
 			if sawUnbound {
@@ -575,29 +898,131 @@ func (s *Scheduler) Pump() error {
 			}
 			// Blocked on a dependency that cannot progress (e.g. writes to a
 			// permanently failed extent). Leave the queue intact.
-			return fmt.Errorf("dep: %d writebacks blocked (IO failures?)", len(s.queue))
+			return fmt.Errorf("dep: %d writebacks blocked (IO failures?)", queued)
 		}
-		issued := s.issueLocked(idx)
+		issued := s.issueLocked(batch)
 		if len(issued) == 0 {
 			// Every issuable writeback failed to write (injected faults).
 			// Transient failures clear on their first hit, so retry a few
 			// rounds before giving up (permanent failures stay blocked).
-			if len(s.issued) > 0 {
-				if err := s.syncLocked(); err != nil {
+			hasIssued := len(s.issued) > 0
+			queued := len(s.queue)
+			s.mu.Unlock()
+			if hasIssued {
+				if err := syncFn(); err != nil {
 					return err
 				}
 				continue
 			}
 			failedRounds++
 			if failedRounds > 4 {
-				return fmt.Errorf("dep: write failures blocked %d writebacks", len(s.queue))
+				return fmt.Errorf("dep: write failures blocked %d writebacks", queued)
 			}
 			continue
 		}
 		failedRounds = 0
-		if err := s.syncLocked(); err != nil {
+		s.mu.Unlock()
+		if err := syncFn(); err != nil {
 			return err
 		}
+	}
+}
+
+// Commit drives the scheduler until d is persistent, amortizing device
+// flushes across concurrent callers: if a commit is already in flight the
+// caller enrolls in the current group and sleeps on the barrier; otherwise
+// it becomes the leader and drives issue+sync rounds for everyone enrolled —
+// one disk.Sync per dependency level regardless of how many callers wait.
+//
+// bind, if non-nil, is invoked by the leader before driving and again if an
+// unbound future still blocks d; it must bind the futures d transitively
+// waits on (e.g. by flushing the index memtable and the superblock record),
+// and doing so for the leader binds them for every enrolled follower from
+// the same generation — the shared flush barrier.
+//
+// d must come from this scheduler. All barrier synchronization goes through
+// vsync, so shuttle explorations interleave leaders, followers, and crashes
+// deterministically.
+func (s *Scheduler) Commit(d *Dependency, bind func() error) error {
+	if d == nil || d.IsPersistent() {
+		return nil
+	}
+	s.met.commits.Inc()
+	for {
+		s.gmu.Lock()
+		if s.leaderBusy {
+			start := s.met.o.Now()
+			seq := s.commitSeq
+			s.enrolled++
+			for s.leaderBusy && s.commitSeq == seq {
+				s.gcond.Wait()
+			}
+			s.enrolled--
+			s.gmu.Unlock()
+			if d.IsPersistent() {
+				s.met.followers.Inc()
+				s.met.barrierWait.Observe(s.met.o.Now() - start)
+				s.cov.Hit("sched.commit_follower")
+				return nil
+			}
+			continue
+		}
+		s.leaderBusy = true
+		s.gmu.Unlock()
+		err := s.commitLead(d, bind)
+		s.gmu.Lock()
+		s.leaderBusy = false
+		s.commitSeq++
+		s.gcond.Broadcast()
+		s.gmu.Unlock()
+		return err
+	}
+}
+
+// commitLead is the group leader's loop: bind futures, then drive issue+sync
+// rounds until d is persistent, publishing each completed sync to the
+// barrier so satisfied followers wake without waiting for the leader's own
+// goal.
+func (s *Scheduler) commitLead(d *Dependency, bind func() error) error {
+	stop := func() bool { return d.IsPersistent() }
+	syncFn := func() error {
+		if err := s.commitSyncOutside(); err != nil {
+			return err
+		}
+		s.gmu.Lock()
+		size := 1 + s.enrolled
+		s.commitSeq++
+		s.gcond.Broadcast()
+		s.gmu.Unlock()
+		s.met.groupSize.Observe(uint64(size))
+		if size > 1 {
+			s.cov.Hit("sched.group_commit")
+		}
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		if d.IsPersistent() {
+			return nil
+		}
+		if bind != nil {
+			if err := bind(); err != nil {
+				return err
+			}
+		}
+		err := s.drive(stop, syncFn)
+		if d.IsPersistent() {
+			return err
+		}
+		if err == nil {
+			// The queue drained but d still waits on an unbound future that
+			// blocks no writeback (e.g. a staged superblock pointer).
+			err = ErrUnboundFuture
+		}
+		if bind == nil || !errors.Is(err, ErrUnboundFuture) || attempt >= 3 {
+			return err
+		}
+		// bind itself may stage further futures (an index flush stages new
+		// superblock pointers); bind and drive again.
 	}
 }
 
@@ -607,15 +1032,15 @@ func (s *Scheduler) Pump() error {
 func (s *Scheduler) StepRandom(rng *rand.Rand) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx, _ := s.issuableLocked()
-	var pick []int
-	for _, i := range idx {
+	cands := s.issuableSortedLocked()
+	var pick []*writeback
+	for _, wb := range cands {
 		if rng.Intn(2) == 0 {
-			pick = append(pick, i)
+			pick = append(pick, wb)
 		}
 	}
-	if len(pick) == 0 && len(idx) > 0 {
-		pick = idx[:1]
+	if len(pick) == 0 && len(cands) > 0 {
+		pick = cands[:1]
 	}
 	return len(s.issueLocked(pick))
 }
@@ -630,21 +1055,37 @@ func (s *Scheduler) CancelExtentPending(ext disk.ExtentID, supersede *Dependency
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kept := s.queue[:0]
-	n := 0
+	var cancelled []*writeback
 	for _, wb := range s.queue {
 		if wb.ext == ext {
 			wb.state = stateSuperseded
 			wb.supersededBy = supersede
-			n++
+			cancelled = append(cancelled, wb)
 			continue
 		}
 		kept = append(kept, wb)
 	}
 	s.queue = kept
-	if n > 0 {
-		s.cov.Hit("sched.cancelled")
+	if len(cancelled) == 0 {
+		return 0
 	}
-	return n
+	s.filterReadyLocked()
+	// Anything counting on a cancelled writeback re-derives its readiness:
+	// the walk now follows the superseding dependency instead.
+	for _, wb := range cancelled {
+		refs, ok := s.blockers[wb.id]
+		if !ok {
+			continue
+		}
+		delete(s.blockers, wb.id)
+		for _, r := range refs {
+			if r.gen == r.wb.classGen && r.wb.state == statePending && !r.wb.inReady {
+				s.classifyLocked(r.wb)
+			}
+		}
+	}
+	s.cov.Hit("sched.cancelled")
+	return len(cancelled)
 }
 
 // Crash discards all pending writebacks (they lived only in memory) and
@@ -653,9 +1094,7 @@ func (s *Scheduler) CancelExtentPending(ext disk.ExtentID, supersede *Dependency
 // a fresh one on the same disk.
 func (s *Scheduler) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
 	s.mu.Lock()
-	s.stats.DroppedCrash += uint64(len(s.queue))
-	s.queue = nil
-	s.issued = nil
+	s.dropAllLocked()
 	s.mu.Unlock()
 	return s.d.Crash(rng)
 }
@@ -664,11 +1103,22 @@ func (s *Scheduler) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
 // enumerator.
 func (s *Scheduler) CrashKeep(keep func(disk.PageAddr) bool) (kept, lost []disk.PageAddr) {
 	s.mu.Lock()
+	s.dropAllLocked()
+	s.mu.Unlock()
+	return s.d.CrashKeep(keep)
+}
+
+// dropAllLocked empties the scheduler for a crash: pending and issued
+// writebacks are dropped, readiness tracking is reset, and the crash epoch
+// invalidates any sync that is concurrently in flight.
+func (s *Scheduler) dropAllLocked() {
+	s.crashEpoch++
 	s.stats.DroppedCrash += uint64(len(s.queue))
 	s.queue = nil
 	s.issued = nil
-	s.mu.Unlock()
-	return s.d.CrashKeep(keep)
+	s.ready = nil
+	s.blockers = map[uint64][]blockRef{}
+	s.futureWaiters = map[*Dependency][]blockRef{}
 }
 
 // PendingCount returns the number of enqueued-but-unissued writebacks.

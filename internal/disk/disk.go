@@ -374,9 +374,19 @@ func (d *Disk) ReadAt(ext ExtentID, off int, buf []byte) error {
 	return nil
 }
 
+// TestHookPreSync, if non-nil, runs at the start of every Sync before the
+// disk lock is taken. Tests use it to hold a device flush in flight and
+// observe what the rest of the stack can do meanwhile (e.g. that scheduler
+// reads proceed during a sync). It must be set and cleared only while no
+// Sync can be running.
+var TestHookPreSync func()
+
 // Sync makes every cached page write durable. It models a full write-cache
 // flush (FUA/barrier for everything outstanding).
 func (d *Disk) Sync() error {
+	if TestHookPreSync != nil {
+		TestHookPreSync()
+	}
 	start := d.obs.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()

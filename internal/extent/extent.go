@@ -340,6 +340,8 @@ func (m *Manager) Allocate(owner Owner) (disk.ExtentID, error) {
 // returns the data's offset plus the dependency covering the data write, the
 // superblock pointer update, and any allocation/reset gates (§2.2, Fig 2).
 // The append is not issued to disk until every dependency in waits persists.
+// Ownership of data transfers to the scheduler (zero-copy enqueue): callers
+// must not mutate it afterwards.
 func (m *Manager) Append(label string, ext disk.ExtentID, data []byte, waits ...*dep.Dependency) (int, *dep.Dependency, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -356,7 +358,7 @@ func (m *Manager) Append(label string, ext disk.ExtentID, data []byte, waits ...
 	if gate := m.gates[ext]; gate != nil {
 		allWaits = append(allWaits, gate)
 	}
-	wdep := m.sched.Write(label, ext, off, data, allWaits...)
+	wdep := m.sched.WriteOwned(label, ext, off, data, allWaits...)
 	ptrDep := m.stagePtrLocked()
 	if err := m.maybeAutoFlushLocked(); err != nil {
 		return 0, nil, fmt.Errorf("auto-flush after append: %w", err)
@@ -613,7 +615,9 @@ func (m *Manager) writeRecordLocked(rec []byte, waits []*dep.Dependency) *dep.De
 	if own {
 		label = "superblock ownership record"
 	}
-	d := m.sched.Write(label, SuperblockExtent, off, rec, waits...)
+	// rec is built fresh by encodeRecordLocked; hand it to the scheduler
+	// without a copy.
+	d := m.sched.WriteOwned(label, SuperblockExtent, off, rec, waits...)
 	return d
 }
 

@@ -72,6 +72,13 @@ const (
 	// from a rotted replica spreads the corruption instead of healing it.
 	FaultScrubRepairUnverified
 
+	// FaultGroupCommitTornBarrier seeds a group-commit defect: the commit
+	// leader skips the device flush but still reports the whole group
+	// durable, so dependencies claim persistence for pages that are only in
+	// the volatile write cache — a torn barrier the §5 persistence check
+	// must catch after a crash.
+	FaultGroupCommitTornBarrier
+
 	numBugs
 )
 
@@ -150,6 +157,8 @@ func (b Bug) String() string {
 		return "fault(silent-corruption)"
 	case FaultScrubRepairUnverified:
 		return "fault(scrub-repair-unverified)"
+	case FaultGroupCommitTornBarrier:
+		return "fault(group-commit-torn-barrier)"
 	}
 	return fmt.Sprintf("bug#%d", int(b))
 }

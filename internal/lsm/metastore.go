@@ -121,7 +121,7 @@ func (m *ExtentMetaStore) WriteRecord(payload []byte, waits ...*dep.Dependency) 
 	if m.lastRec != nil && !m.lastRec.IsPersistent() {
 		allWaits = append(allWaits, m.lastRec)
 	}
-	d := m.sched.Write("LSM-tree metadata", m.ext, off, rec, allWaits...)
+	d := m.sched.WriteOwned("LSM-tree metadata", m.ext, off, rec, allWaits...)
 	m.lastRec = d
 	m.cov.Hit("lsm.meta.write")
 	return d, nil

@@ -220,7 +220,11 @@ func (c *Client) submit(q *wireReq) *Call {
 	c.pending[call.id] = call
 	c.mu.Unlock()
 
-	frame, werr := appendFrameV2(nil, q.op, 0, call.id, payload)
+	var flags uint8
+	if q.durable {
+		flags |= flagDurable
+	}
+	frame, werr := appendFrameV2(nil, q.op, flags, call.id, payload)
 	if werr == nil {
 		select {
 		case c.writeCh <- frame:
@@ -309,6 +313,15 @@ func (c *Client) Put(ctx context.Context, shardID string, value []byte) error {
 	return err
 }
 
+// PutDurable stores a shard and returns only once the server reports the
+// write persistent: the server enrolls the put in its group-commit barrier,
+// so concurrent PutDurable calls from any number of clients share device
+// flushes instead of paying one per call.
+func (c *Client) PutDurable(ctx context.Context, shardID string, value []byte) error {
+	_, err := c.roundTrip(ctx, &wireReq{op: opPut, key: shardID, value: value, durable: true})
+	return err
+}
+
 // Get fetches a shard.
 func (c *Client) Get(ctx context.Context, shardID string) ([]byte, error) {
 	p, err := c.roundTrip(ctx, &wireReq{op: opGet, key: shardID})
@@ -371,6 +384,20 @@ func (c *Client) MGet(ctx context.Context, shardIDs []string) ([]BatchResult, er
 // MPut stores a batch of shards in ONE frame with per-item outcomes.
 func (c *Client) MPut(ctx context.Context, shardIDs []string, values [][]byte) ([]error, error) {
 	p, err := c.roundTrip(ctx, &wireReq{op: opMPut, keys: shardIDs, values: values})
+	if err != nil {
+		return nil, err
+	}
+	if len(p.itemCodes) != len(shardIDs) {
+		return nil, fmt.Errorf("rpc: mput returned %d items for %d ids", len(p.itemCodes), len(shardIDs))
+	}
+	return itemErrs(p.itemCodes), nil
+}
+
+// MPutDurable is MPut with a durability barrier: the server acknowledges
+// each item only after its write is persistent, amortizing one group commit
+// across the whole batch (per target disk).
+func (c *Client) MPutDurable(ctx context.Context, shardIDs []string, values [][]byte) ([]error, error) {
+	p, err := c.roundTrip(ctx, &wireReq{op: opMPut, keys: shardIDs, values: values, durable: true})
 	if err != nil {
 		return nil, err
 	}

@@ -87,6 +87,12 @@ const (
 	headerSize   = 16
 )
 
+// flagDurable marks a put/mput request frame as durability-waiting: the
+// server acknowledges only after the mutation's dependency is persistent,
+// enrolling in the backend's group-commit barrier. Other bits are reserved
+// and ignored.
+const flagDurable uint8 = 0x01
+
 // header is one decoded v2 frame header.
 type header struct {
 	op    Opcode

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"shardstore/internal/chunk"
+	"shardstore/internal/dep"
 	"shardstore/internal/disk"
 	"shardstore/internal/obs"
 	"shardstore/internal/scrub"
@@ -68,6 +69,12 @@ type (
 	meteredBackend interface {
 		Obs() *obs.Obs
 		Disk() *disk.Disk
+	}
+	// durableWaiter backs the flagDurable request plane: WaitDurable blocks
+	// until d is persistent, enrolling in the backend's group-commit
+	// barrier (one device flush amortized over all concurrent waiters).
+	durableWaiter interface {
+		WaitDurable(d *dep.Dependency) error
 	}
 	chunkStatsBackend interface{ Chunks() *chunk.Store }
 )
@@ -326,6 +333,9 @@ func (s *Server) serveConnV2(conn net.Conn) {
 			for w := range workCh {
 				var p *wireResp
 				q, err := decodeReq(w.h.op, w.payload)
+				if q != nil {
+					q.durable = w.h.flags&flagDurable != 0
+				}
 				if err != nil {
 					p = respErr(CodeBadRequest, err.Error())
 					s.requests.Inc()
@@ -447,8 +457,18 @@ func (s *Server) dispatchInner(q *wireReq) *wireResp {
 		if q.key == "" {
 			return respErr(CodeBadRequest, "missing shard_id")
 		}
-		if _, err := kv.Put(q.key, q.value); err != nil {
+		d, err := kv.Put(q.key, q.value)
+		if err != nil {
 			return errResp(err)
+		}
+		if q.durable {
+			dw, ok := kv.(durableWaiter)
+			if !ok {
+				return respErr(CodeUnsupported, "backend cannot wait for durability")
+			}
+			if err := dw.WaitDurable(d); err != nil {
+				return errResp(err)
+			}
 		}
 		return &wireResp{code: CodeOK}
 	case opGet:
@@ -511,9 +531,9 @@ func (s *Server) dispatchInner(q *wireReq) *wireResp {
 		if len(q.keys) != len(q.values) {
 			return respErr(CodeBadRequest, "shards/values mismatch")
 		}
-		return s.mMutate(q.keys, q.values, true)
+		return s.mMutate(q.keys, q.values, true, q.durable)
 	case opMDelete:
-		return s.mMutate(q.keys, nil, false)
+		return s.mMutate(q.keys, nil, false, false)
 	case opRemoveDisk:
 		sr, ok := kv.(serviceRemover)
 		if !ok {
@@ -603,10 +623,14 @@ func (s *Server) mGet(keys []string) *wireResp {
 }
 
 // mMutate implements mput (put=true) and mdelete with per-item outcomes.
-func (s *Server) mMutate(keys []string, values [][]byte, put bool) *wireResp {
+func (s *Server) mMutate(keys []string, values [][]byte, put bool, durable bool) *wireResp {
 	p := &wireResp{code: CodeOK, itemCodes: make([]Code, len(keys))}
 	for disk, idxs := range s.groupBySteer(keys) {
 		kv := disk.kv
+		if durable {
+			mMutateDurableGroup(kv, keys, values, idxs, p)
+			continue
+		}
 		bkv, batched := kv.(store.BatchKV)
 		if batched {
 			ids := make([]string, len(idxs))
@@ -639,6 +663,38 @@ func (s *Server) mMutate(keys []string, values [][]byte, put bool) *wireResp {
 		}
 	}
 	return p
+}
+
+// mMutateDurableGroup applies one steering group's puts durably: collect
+// each successful put's dependency and cross the commit barrier once for
+// the whole per-disk group — one leader-driven flush regardless of batch
+// size. Item outcomes land at fixed indices of p.itemCodes, so the caller's
+// map-iteration order over groups never becomes observable.
+func mMutateDurableGroup(kv store.KV, keys []string, values [][]byte, idxs []int, p *wireResp) {
+	dw, ok := kv.(durableWaiter)
+	if !ok {
+		for _, i := range idxs {
+			p.itemCodes[i] = CodeUnsupported
+		}
+		return
+	}
+	deps := make([]*dep.Dependency, 0, len(idxs))
+	okIdx := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		d, err := kv.Put(keys[i], values[i])
+		p.itemCodes[i] = codeFor(err)
+		if err == nil {
+			deps = append(deps, d)
+			okIdx = append(okIdx, i)
+		}
+	}
+	if len(deps) > 0 {
+		if err := dw.WaitDurable(dep.All(deps...)); err != nil {
+			for _, i := range okIdx {
+				p.itemCodes[i] = codeFor(err)
+			}
+		}
+	}
 }
 
 // steerGroup keys groupBySteer's map by disk index with the KV captured at

@@ -16,6 +16,10 @@ type wireReq struct {
 	keys   []string
 	values [][]byte
 	disk   int
+	// durable requests an acknowledgment only after the mutation is
+	// persistent (group commit). Carried in the v2 frame header's flag byte,
+	// not the payload; the v1 shim has no way to set it.
+	durable bool
 }
 
 // wireResp is the protocol-neutral response.

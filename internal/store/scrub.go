@@ -64,6 +64,21 @@ func (s *Store) ScrubRound() (scrub.Result, error) {
 	if err == nil {
 		s.cfg.Coverage.Hit("store.scrub_round")
 	}
+	if err == nil && res.Repaired > 0 {
+		// Repairs rewrote chunks and swapped index locators; make them
+		// durable through the shared commit barrier so a crash right after
+		// the round cannot resurrect the rotted copies. The index flush
+		// dependency covers the whole current index state (see
+		// dataResolver.SyncReferences), including the repair swaps.
+		fd, ferr := s.idx.Flush()
+		if ferr != nil {
+			return res, ferr
+		}
+		if werr := s.WaitDurable(fd); werr != nil {
+			return res, werr
+		}
+		s.cfg.Coverage.Hit("store.scrub_repair_committed")
+	}
 	return res, err
 }
 

@@ -162,7 +162,7 @@ func Open(d *disk.Disk, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	cov := cfg.Coverage
 	bugs := cfg.Bugs
-	sched := dep.NewScheduler(d, cov)
+	sched := dep.NewSchedulerOpts(d, cov, dep.Options{Obs: cfg.Obs, Bugs: bugs})
 	em, err := extent.Recover(sched, extent.Config{
 		AutoFlushThreshold: cfg.AutoFlushThreshold,
 		StagingTokens:      cfg.StagingTokens,
@@ -642,6 +642,23 @@ func (s *Store) Pump() error {
 		return err
 	}
 	return s.sched.Pump()
+}
+
+// WaitDurable blocks until d is persistent, enrolling in the scheduler's
+// current commit group: concurrent durability waiters (puts, LSM flushes,
+// scrub repairs, durable RPC mutations) share one leader-driven issue+sync
+// pass instead of each pumping the scheduler — the group-commit write path.
+// The leader's bind step flushes the index memtable and the superblock
+// record, which binds the staged futures of every waiter enrolled from the
+// same generation.
+func (s *Store) WaitDurable(d *dep.Dependency) error {
+	return s.sched.Commit(d, func() error {
+		if _, err := s.idx.Flush(); err != nil {
+			return err
+		}
+		_, err := s.em.Flush()
+		return err
+	})
 }
 
 // DrainCache empties the buffer cache (a harness op for reaching the

@@ -1,0 +1,9 @@
+//go:build race
+
+package shardstore_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The wall-clock throughput gate skips under -race (timings are
+// 10x off and prove nothing); its concurrency coverage comes from the
+// internal/dep race suite instead.
+const raceEnabled = true

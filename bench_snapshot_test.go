@@ -50,3 +50,33 @@ func TestBenchSnapshotCurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestReadBenchSnapshotCurrent is the CI leg for the committed read-path
+// snapshot: BENCH_PR7.json must exist, parse under the current read schema
+// (which already requires a strict read-amplification improvement), and show
+// the compaction engine collapsing the fragmented keyspace to within the
+// default level budget. Regenerate with scripts/bench.sh.
+func TestReadBenchSnapshotCurrent(t *testing.T) {
+	data, err := os.ReadFile("BENCH_PR7.json")
+	if err != nil {
+		t.Fatalf("committed read benchmark snapshot missing: %v (run scripts/bench.sh)", err)
+	}
+	rep, err := benchfmt.ParseRead(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Before.Runs != rep.Keys {
+		t.Errorf("before_compaction ran against %d runs, want one per key (%d)", rep.Before.Runs, rep.Keys)
+	}
+	// The default policy's level budget: at most one run per level.
+	const budget = 4
+	if rep.After.Runs > budget {
+		t.Errorf("after_compaction still has %d runs, budget %d", rep.After.Runs, budget)
+	}
+	if rep.After.RunsProbedPerGet > budget {
+		t.Errorf("after_compaction probes %.2f runs/get, budget %d", rep.After.RunsProbedPerGet, budget)
+	}
+	if rep.BytesRewritten == 0 {
+		t.Error("snapshot recorded no bytes rewritten — the engine did no merge work")
+	}
+}

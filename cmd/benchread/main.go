@@ -1,0 +1,154 @@
+// Command benchread measures the read path before and after leveled
+// compaction and emits the committed read-path snapshot (BENCH_PR7.json,
+// see internal/benchfmt). It builds the worst-case shape for a log-
+// structured read — one key per L0 run — measures Get p50/p99 and the
+// runs-probed-per-Get read amplification, quiesces the compaction engine,
+// and measures again. The simulated disk's page reads are modeled at a
+// fixed latency so the probe-count win is visible in wall-clock numbers,
+// not only in the counters.
+//
+// Usage:
+//
+//	go run ./cmd/benchread [-out BENCH_PR7.json] [-keys 64] [-passes 8] [-read-us 20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"shardstore/internal/benchfmt"
+	"shardstore/internal/disk"
+	"shardstore/internal/obs"
+	"shardstore/internal/store"
+)
+
+func newStore() (*store.Store, error) {
+	cfg := store.Config{Seed: 1}
+	cfg.Disk = disk.Config{PageSize: 128, PagesPerExtent: 512, ExtentCount: 64}
+	cfg.MaxMemEntries = 512
+	cfg.AutoFlushThreshold = 256
+	// One run per key must survive seeding: keep the flush path's bounded
+	// auto-compaction out of the engine's way.
+	cfg.MaxRuns = 1024
+	cfg.Obs = obs.New(nil)
+	st, _, err := store.New(cfg)
+	return st, err
+}
+
+// percentiles returns (p50, p99) in microseconds.
+func percentiles(lat []time.Duration) (float64, float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Microsecond)
+	}
+	return p(0.50), p(0.99)
+}
+
+// measureReads performs `passes` full sweeps over the keyspace, draining the
+// chunk cache before each pass so every Get pays the run-probe cost, and
+// returns the populated point.
+func measureReads(st *store.Store, keys, passes int) (benchfmt.ReadPoint, error) {
+	before := st.Obs().Snapshot()
+	lats := make([]time.Duration, 0, keys*passes)
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		st.DrainCache()
+		for i := 0; i < keys; i++ {
+			t0 := time.Now()
+			if _, err := st.Get(fmt.Sprintf("k%03d", i)); err != nil {
+				return benchfmt.ReadPoint{}, fmt.Errorf("get k%03d: %w", i, err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+	}
+	elapsed := time.Since(start)
+	after := st.Obs().Snapshot()
+	gets := after.Counters["lsm.gets"] - before.Counters["lsm.gets"]
+	probed := after.Counters["lsm.runs_probed"] - before.Counters["lsm.runs_probed"]
+	p50, p99 := percentiles(lats)
+	return benchfmt.ReadPoint{
+		Runs:             st.Index().RunCount(),
+		GetsPerSec:       float64(len(lats)) / elapsed.Seconds(),
+		P50Micros:        p50,
+		P99Micros:        p99,
+		RunsProbedPerGet: float64(probed) / float64(gets),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON snapshot here (default stdout)")
+	keys := flag.Int("keys", 64, "keyspace size (also the pre-compaction run count)")
+	passes := flag.Int("passes", 8, "full keyspace sweeps per measurement")
+	readUS := flag.Int("read-us", 20, "modeled device page-read latency in microseconds")
+	flag.Parse()
+
+	read := time.Duration(*readUS) * time.Microsecond
+	disk.TestHookPreRead = func() { time.Sleep(read) }
+	defer func() { disk.TestHookPreRead = nil }()
+
+	st, err := newStore()
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *keys; i++ {
+		if _, err := st.Put(fmt.Sprintf("k%03d", i), make([]byte, 48)); err != nil {
+			fatal(err)
+		}
+		if _, err := st.FlushIndex(); err != nil {
+			fatal(err)
+		}
+	}
+	if err := st.Pump(); err != nil {
+		fatal(err)
+	}
+
+	rep := benchfmt.ReadReport{Schema: benchfmt.ReadSchema, Keys: *keys}
+	if rep.Before, err = measureReads(st, *keys, *passes); err != nil {
+		fatal(err)
+	}
+
+	if _, err := st.CompactQuiesce(1024); err != nil {
+		fatal(err)
+	}
+	snap := st.Obs().Snapshot()
+	rep.Compactions = int(snap.Counters["compact.steps"])
+	rep.BytesRewritten = snap.Counters["compact.bytes_rewritten"]
+
+	if rep.After, err = measureReads(st, *keys, *passes); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "before: %3d runs, %7.0f gets/s, p50 %6.1fus, p99 %6.1fus, %5.1f runs probed/get\n",
+		rep.Before.Runs, rep.Before.GetsPerSec, rep.Before.P50Micros, rep.Before.P99Micros, rep.Before.RunsProbedPerGet)
+	fmt.Fprintf(os.Stderr, "after:  %3d runs, %7.0f gets/s, p50 %6.1fus, p99 %6.1fus, %5.1f runs probed/get (%d compactions, %d bytes rewritten)\n",
+		rep.After.Runs, rep.After.GetsPerSec, rep.After.P50Micros, rep.After.P99Micros, rep.After.RunsProbedPerGet,
+		rep.Compactions, rep.BytesRewritten)
+
+	if err := rep.Validate(); err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchread: %v\n", err)
+	os.Exit(1)
+}

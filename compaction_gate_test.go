@@ -1,0 +1,170 @@
+package shardstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shardstore/internal/disk"
+	"shardstore/internal/obs"
+	"shardstore/internal/store"
+)
+
+// compactGateStore is gateStore with room for a 64-run L0 (MaxRuns high
+// enough that the flush path's bounded auto-compaction never fires — the
+// engine must earn the read-amplification win itself).
+func compactGateStore(t *testing.T) *store.Store {
+	t.Helper()
+	cfg := store.Config{Seed: 1}
+	cfg.Disk = disk.Config{PageSize: 128, PagesPerExtent: 512, ExtentCount: 64}
+	cfg.MaxMemEntries = 512
+	cfg.AutoFlushThreshold = 256
+	cfg.MaxRuns = 128
+	cfg.Obs = obs.New(nil)
+	st, _, err := store.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// probesPerGet reads every key once and returns the mean number of runs
+// probed per Get, from the index's own read-amplification counters.
+func probesPerGet(t *testing.T, st *store.Store, keys int) float64 {
+	t.Helper()
+	before := st.Obs().Snapshot()
+	for i := 0; i < keys; i++ {
+		if _, err := st.Get(fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatalf("get k%03d: %v", i, err)
+		}
+	}
+	after := st.Obs().Snapshot()
+	gets := after.Counters["lsm.gets"] - before.Counters["lsm.gets"]
+	probed := after.Counters["lsm.runs_probed"] - before.Counters["lsm.runs_probed"]
+	if gets == 0 {
+		t.Fatal("no gets counted")
+	}
+	return float64(probed) / float64(gets)
+}
+
+// TestCompactionReadAmplificationGate is the PR's acceptance gate: on a
+// 64-run keyspace (one key per L0 run, the worst case for a leveled read),
+// quiescing the compaction engine must bring the measured runs-probed-per-Get
+// from tens down to within the level budget — at most one run per level —
+// and every key must still read back its exact bytes.
+func TestCompactionReadAmplificationGate(t *testing.T) {
+	const keys = 64
+	st := compactGateStore(t)
+	for i := 0; i < keys; i++ {
+		if _, err := st.Put(fmt.Sprintf("k%03d", i), bytes.Repeat([]byte{byte(i + 1)}, 48)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.FlushIndex(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	if rc := st.Index().RunCount(); rc != keys {
+		t.Fatalf("seeding built %d runs, want %d", rc, keys)
+	}
+
+	beforeAmp := probesPerGet(t, st, keys)
+	if beforeAmp < 8 {
+		t.Fatalf("pre-compaction read amplification %.1f runs/get — keyspace not fragmented enough for the gate to mean anything", beforeAmp)
+	}
+
+	applied, err := st.CompactQuiesce(256)
+	if err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	if applied == 0 {
+		t.Fatal("compaction engine found no work on a 64-run L0")
+	}
+
+	afterAmp := probesPerGet(t, st, keys)
+	budget := float64(st.Compactor().Policy().MaxLevels)
+	t.Logf("read amplification: %.1f runs/get across %d runs before, %.2f after %d compactions (%d runs, budget %.0f)",
+		beforeAmp, keys, afterAmp, applied, st.Index().RunCount(), budget)
+	if afterAmp > budget {
+		t.Fatalf("post-compaction read amplification %.2f runs/get exceeds the level budget %.0f", afterAmp, budget)
+	}
+	if rc := st.Index().RunCount(); float64(rc) > budget {
+		t.Fatalf("post-compaction run count %d exceeds the level budget %.0f", rc, budget)
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		got, err := st.Get(k)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 48)) {
+			t.Fatalf("%s corrupted by compaction: len=%d err=%v", k, len(got), err)
+		}
+	}
+}
+
+// TestCompactionForegroundRaceHammer drives real goroutines — durable
+// compaction steps against foreground puts and gets — with no shuttle
+// scheduler in between, so the race detector sees the production locking.
+// scripts/ci.sh runs this under -race.
+func TestCompactionForegroundRaceHammer(t *testing.T) {
+	st := compactGateStore(t)
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := st.Put(fmt.Sprintf("k%03d", i), bytes.Repeat([]byte{byte(i + 1)}, 48)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.FlushIndex(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			if _, err := st.CompactStep(); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				k := fmt.Sprintf("k%03d", i)
+				v := bytes.Repeat([]byte{0xA0 + byte(r)}, 64)
+				d, err := st.Put(k, v)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := st.WaitDurable(d); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+		go func() {
+			defer wg.Done()
+			for i := 4; i < 8; i++ {
+				if _, err := st.Get(fmt.Sprintf("k%03d", i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	}
+	if t.Failed() {
+		t.Fatal("hammer worker failed")
+	}
+	for i := 4; i < 8; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		got, err := st.Get(k)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 48)) {
+			t.Fatalf("%s corrupted by hammer: %v", k, err)
+		}
+	}
+}

@@ -24,6 +24,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/store":       true,
 	"internal/experiments": true,
 	"internal/rpc":         true,
+	"internal/compact":     true,
 }
 
 // seededConstructors are the math/rand functions that build an explicitly

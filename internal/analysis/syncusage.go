@@ -24,6 +24,7 @@ var instrumentedPkgs = map[string]bool{
 	"internal/lsm":         true,
 	"internal/buffercache": true,
 	"internal/scrub":       true,
+	"internal/compact":     true,
 }
 
 // rawSyncNames are the sync package identifiers with vsync replacements.

@@ -1,0 +1,89 @@
+// Read-path snapshot format (BENCH_PR7.json): cmd/benchread emits it, and
+// the CI leg re-parses the committed file, exactly like the write-path
+// snapshot in benchfmt.go. A separate schema string keeps the two snapshots
+// independently regenerable.
+
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ReadSchema identifies the read-path snapshot layout.
+const ReadSchema = "shardstore-bench-pr7/v1"
+
+// ReadPoint is the read path measured against one index shape.
+type ReadPoint struct {
+	// Runs is the on-disk run count the reads ran against.
+	Runs int `json:"runs"`
+	// GetsPerSec is the end-to-end Get throughput.
+	GetsPerSec float64 `json:"gets_per_sec"`
+	// P50Micros / P99Micros are per-Get latency percentiles in microseconds.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// RunsProbedPerGet is the measured read amplification: the index's
+	// lsm.runs_probed counter over lsm.gets for this measurement window.
+	RunsProbedPerGet float64 `json:"runs_probed_per_get"`
+}
+
+// ReadReport is the whole read-path snapshot: the same keyspace read before
+// and after the leveled-compaction engine quiesces.
+type ReadReport struct {
+	Schema string `json:"schema"`
+	// Keys is the keyspace size; seeding flushes one run per key, so it is
+	// also the pre-compaction run count.
+	Keys int `json:"keys"`
+	// Before is the fragmented (one-run-per-key) shape; After is the shape
+	// the compaction engine settled into.
+	Before ReadPoint `json:"before_compaction"`
+	After  ReadPoint `json:"after_compaction"`
+	// Compactions and BytesRewritten summarize the work the engine did to
+	// get from Before to After (compact.steps / compact.bytes_rewritten).
+	Compactions    int    `json:"compactions"`
+	BytesRewritten uint64 `json:"bytes_rewritten"`
+}
+
+// Validate checks structural integrity and that the snapshot actually shows
+// the win the engine exists for: strictly lower read amplification after
+// compaction.
+func (r *ReadReport) Validate() error {
+	if r.Schema != ReadSchema {
+		return fmt.Errorf("benchfmt: read schema %q is not current (want %q); regenerate with scripts/bench.sh", r.Schema, ReadSchema)
+	}
+	if r.Keys <= 0 {
+		return fmt.Errorf("benchfmt: read snapshot has no keys")
+	}
+	for _, sec := range []struct {
+		name string
+		p    ReadPoint
+	}{{"before_compaction", r.Before}, {"after_compaction", r.After}} {
+		p := sec.p
+		if p.Runs <= 0 || p.GetsPerSec <= 0 || p.P50Micros <= 0 || p.P99Micros < p.P50Micros {
+			return fmt.Errorf("benchfmt: section %q has an implausible point %+v", sec.name, p)
+		}
+		if p.RunsProbedPerGet < 1 {
+			return fmt.Errorf("benchfmt: section %q probes %.2f runs/get — every hit probes at least one run", sec.name, p.RunsProbedPerGet)
+		}
+	}
+	if r.Compactions <= 0 {
+		return fmt.Errorf("benchfmt: read snapshot recorded no compactions")
+	}
+	if r.After.RunsProbedPerGet >= r.Before.RunsProbedPerGet {
+		return fmt.Errorf("benchfmt: read amplification did not improve (%.2f -> %.2f runs/get)",
+			r.Before.RunsProbedPerGet, r.After.RunsProbedPerGet)
+	}
+	return nil
+}
+
+// ParseRead decodes and validates a read-path snapshot.
+func ParseRead(data []byte) (*ReadReport, error) {
+	var r ReadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,267 @@
+// Package compact is the background leveled-compaction engine over the LSM
+// index's run list. Runs are organized into generation-numbered levels: L0
+// holds raw flush output (runs may overlap, newest first), L1 and deeper hold
+// one merged, sorted run each. A compaction picks an input set by sequence
+// number, asks the host to merge-write the output as a new chunk and publish
+// a new manifest generation with a single CAS swap of the current run list,
+// then rides the group-commit barrier so the swap is durable before the next
+// step. The engine never touches chunks itself — the host owns the pinned
+// write + CAS discipline (see lsm.ApplyPlan) — which is what keeps a crash
+// mid-compaction invisible: the old manifest generation stays fully intact
+// until the swap commits.
+//
+// The split mirrors histdb's generation-numbered level files with an
+// atomically swapped "current" pointer: the planner decides *what* to merge
+// (pure policy over level shapes), the host decides *how* (chunk writes,
+// dependency ordering, manifest publication).
+package compact
+
+import (
+	"fmt"
+
+	"shardstore/internal/dep"
+	"shardstore/internal/obs"
+)
+
+// RunInfo describes one run of the host's current manifest generation.
+type RunInfo struct {
+	// Level is the run's level: 0 for raw flush output, 1+ for merged levels.
+	Level int
+	// Seq is the run's unique sequence number — the identity a Plan names its
+	// inputs by, stable across relocation (which changes only the locator).
+	Seq uint64
+	// Bytes is the run's on-disk payload size.
+	Bytes int
+}
+
+// Plan names one compaction: merge the runs with the given sequence numbers
+// into a single new run at OutLevel.
+type Plan struct {
+	// Inputs are the sequence numbers of the runs to merge.
+	Inputs []uint64
+	// OutLevel is the level the merged output run lands on (>= 1).
+	OutLevel int
+}
+
+// Result reports what one applied plan did.
+type Result struct {
+	// Applied is false when the host's CAS found the input set changed (a
+	// concurrent compaction already consumed an input) and published nothing.
+	Applied bool
+	// BytesIn / BytesOut are the merged input and output payload sizes.
+	BytesIn  int
+	BytesOut int
+	// DroppedTombstones counts deletion markers elided because the output
+	// level was the deepest occupied level.
+	DroppedTombstones int
+	// Manifest covers the output chunk and the new manifest generation; it is
+	// what the engine hands to WaitDurable so the swap rides group commit.
+	Manifest *dep.Dependency
+}
+
+// Host is the storage-node surface the engine works against. The production
+// implementation is the store's adapter over lsm.Tree.
+type Host interface {
+	// Levels returns the current manifest generation's runs in read order
+	// (L0 newest first, then ascending levels).
+	Levels() []RunInfo
+	// Compact merge-writes the plan's output and publishes a new manifest
+	// generation with a CAS swap; see lsm.ApplyPlan for the discipline.
+	Compact(Plan) (Result, error)
+	// WaitDurable blocks until d is persistent via the group-commit barrier.
+	WaitDurable(d *dep.Dependency) error
+}
+
+// Policy tunes the planner.
+type Policy struct {
+	// L0Trigger compacts L0 into L1 once this many L0 runs exist (default 4).
+	L0Trigger int
+	// MaxLevels is the deepest level index (default 4; levels run 0..MaxLevels).
+	// It must not exceed the manifest headroom (lsm.MaxLevels).
+	MaxLevels int
+	// BaseBytes is the L1 target size; level L targets BaseBytes·Growth^(L-1)
+	// bytes before being pushed one level deeper (default 16 KiB).
+	BaseBytes int
+	// Growth is the per-level size ratio (default 4).
+	Growth int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.L0Trigger <= 0 {
+		p.L0Trigger = 4
+	}
+	if p.MaxLevels <= 0 {
+		p.MaxLevels = 4
+	}
+	if p.BaseBytes <= 0 {
+		p.BaseBytes = 16 * 1024
+	}
+	if p.Growth <= 1 {
+		p.Growth = 4
+	}
+	return p
+}
+
+// targetBytes is the size level lv may reach before being pushed deeper.
+func (p Policy) targetBytes(lv int) int {
+	t := p.BaseBytes
+	for i := 1; i < lv; i++ {
+		t *= p.Growth
+	}
+	return t
+}
+
+// NextPlan picks the next compaction for the given level view, or ok=false
+// when every level is within policy. L0 pressure wins over deep-level
+// pressure: unbounded L0 growth is what costs reads, one probe per run.
+func (p Policy) NextPlan(runs []RunInfo) (Plan, bool) {
+	p = p.withDefaults()
+	var l0 []uint64
+	resident := make(map[int]RunInfo) // level >= 1 -> its single run
+	bytesAt := make(map[int]int)
+	for _, r := range runs {
+		if r.Level == 0 {
+			l0 = append(l0, r.Seq)
+		} else {
+			resident[r.Level] = r
+			bytesAt[r.Level] += r.Bytes
+		}
+	}
+	if len(l0) >= p.L0Trigger {
+		in := append([]uint64(nil), l0...)
+		if r, ok := resident[1]; ok {
+			in = append(in, r.Seq)
+		}
+		return Plan{Inputs: in, OutLevel: 1}, true
+	}
+	for lv := 1; lv < p.MaxLevels; lv++ {
+		r, ok := resident[lv]
+		if !ok || bytesAt[lv] <= p.targetBytes(lv) {
+			continue
+		}
+		in := []uint64{r.Seq}
+		if next, ok := resident[lv+1]; ok {
+			in = append(in, next.Seq)
+		}
+		return Plan{Inputs: in, OutLevel: lv + 1}, true
+	}
+	return Plan{}, false
+}
+
+// engineMetrics holds the obs handles, resolved once at construction.
+type engineMetrics struct {
+	steps          *obs.Counter
+	aborts         *obs.Counter
+	bytesRewritten *obs.Counter
+	tombstones     *obs.Counter
+	levels         *obs.Gauge
+	duration       *obs.Histogram
+}
+
+func newEngineMetrics(o *obs.Obs) engineMetrics {
+	return engineMetrics{
+		steps:          o.Counter("compact.steps"),
+		aborts:         o.Counter("compact.aborts"),
+		bytesRewritten: o.Counter("compact.bytes_rewritten"),
+		tombstones:     o.Counter("compact.tombstones_dropped"),
+		levels:         o.Gauge("compact.levels"),
+		duration:       o.Histogram("compact.duration"),
+	}
+}
+
+// Engine drives leveled compaction against a Host: plan one step, apply it,
+// make the manifest swap durable. It holds no state of its own beyond policy
+// and metrics — the host's manifest is the only source of truth — so steps
+// are safe to run from a background loop and a harness at once (the host
+// serializes application).
+type Engine struct {
+	host Host
+	pol  Policy
+	obs  *obs.Obs
+	met  engineMetrics
+}
+
+// New builds an engine on host. A zero Policy takes defaults; a nil registry
+// gets a private one.
+func New(host Host, pol Policy, o *obs.Obs) *Engine {
+	if o == nil {
+		o = obs.New(nil)
+	}
+	return &Engine{host: host, pol: pol.withDefaults(), obs: o, met: newEngineMetrics(o)}
+}
+
+// Policy returns the engine's (defaulted) policy.
+func (e *Engine) Policy() Policy { return e.pol }
+
+// Step plans and applies at most one compaction, then blocks on the
+// group-commit barrier until the manifest swap is durable. It reports whether
+// a compaction was applied.
+func (e *Engine) Step() (bool, error) {
+	return e.step(true)
+}
+
+// StepNoWait is Step without the durability wait: the swap's dependency
+// ordering alone protects a crash (the manifest record is ordered after the
+// output chunk), exactly like an index flush. Deterministic harnesses use
+// this so their own scheduling ops control when the swap reaches the media.
+func (e *Engine) StepNoWait() (bool, error) {
+	return e.step(false)
+}
+
+func (e *Engine) step(durable bool) (bool, error) {
+	start := e.obs.Now()
+	view := e.host.Levels()
+	plan, ok := e.pol.NextPlan(view)
+	if !ok {
+		e.met.levels.Set(int64(occupiedLevels(view)))
+		return false, nil
+	}
+	res, err := e.host.Compact(plan)
+	if err != nil {
+		return false, fmt.Errorf("compact: apply L%d plan (%d inputs): %w", plan.OutLevel, len(plan.Inputs), err)
+	}
+	if !res.Applied {
+		e.met.aborts.Inc()
+		return false, nil
+	}
+	e.met.steps.Inc()
+	e.met.bytesRewritten.Add(uint64(res.BytesOut))
+	e.met.tombstones.Add(uint64(res.DroppedTombstones))
+	e.met.levels.Set(int64(occupiedLevels(e.host.Levels())))
+	e.met.duration.Observe(e.obs.Now() - start)
+	if durable && res.Manifest != nil {
+		if err := e.host.WaitDurable(res.Manifest); err != nil {
+			return true, fmt.Errorf("compact: manifest commit: %w", err)
+		}
+	}
+	return true, nil
+}
+
+// Quiesce steps until no plan remains or maxSteps is reached, returning the
+// number of compactions applied. maxSteps <= 0 means a generous default.
+func (e *Engine) Quiesce(maxSteps int) (int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 64
+	}
+	applied := 0
+	for i := 0; i < maxSteps; i++ {
+		did, err := e.Step()
+		if err != nil {
+			return applied, err
+		}
+		if !did {
+			return applied, nil
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// occupiedLevels counts distinct levels holding at least one run.
+func occupiedLevels(runs []RunInfo) int {
+	seen := make(map[int]bool, len(runs))
+	for _, r := range runs {
+		seen[r.Level] = true
+	}
+	return len(seen)
+}

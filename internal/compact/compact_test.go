@@ -1,0 +1,201 @@
+package compact_test
+
+import (
+	"errors"
+	"testing"
+
+	"shardstore/internal/compact"
+	"shardstore/internal/dep"
+	"shardstore/internal/obs"
+)
+
+func seqs(p compact.Plan) map[uint64]bool {
+	out := make(map[uint64]bool, len(p.Inputs))
+	for _, s := range p.Inputs {
+		out[s] = true
+	}
+	return out
+}
+
+func TestPolicyNextPlanShapes(t *testing.T) {
+	pol := compact.Policy{L0Trigger: 3, MaxLevels: 3, BaseBytes: 100, Growth: 4}
+
+	if _, ok := pol.NextPlan(nil); ok {
+		t.Fatal("empty view produced a plan")
+	}
+	if _, ok := pol.NextPlan([]compact.RunInfo{{Level: 0, Seq: 1, Bytes: 10}, {Level: 0, Seq: 2, Bytes: 10}}); ok {
+		t.Fatal("L0 below trigger produced a plan")
+	}
+
+	// L0 at trigger: all L0 runs plus the resident L1 run, out to L1.
+	view := []compact.RunInfo{
+		{Level: 0, Seq: 5, Bytes: 10}, {Level: 0, Seq: 4, Bytes: 10}, {Level: 0, Seq: 3, Bytes: 10},
+		{Level: 1, Seq: 2, Bytes: 50},
+	}
+	p, ok := pol.NextPlan(view)
+	if !ok || p.OutLevel != 1 || len(p.Inputs) != 4 {
+		t.Fatalf("L0 plan: %+v ok=%v", p, ok)
+	}
+	in := seqs(p)
+	for _, s := range []uint64{5, 4, 3, 2} {
+		if !in[s] {
+			t.Fatalf("L0 plan missing seq %d: %+v", s, p)
+		}
+	}
+
+	// Oversized L1 pushes into L2 together with the resident L2 run.
+	view = []compact.RunInfo{
+		{Level: 1, Seq: 7, Bytes: 150},
+		{Level: 2, Seq: 6, Bytes: 200},
+	}
+	p, ok = pol.NextPlan(view)
+	if !ok || p.OutLevel != 2 || len(p.Inputs) != 2 || !seqs(p)[7] || !seqs(p)[6] {
+		t.Fatalf("L1 push plan: %+v ok=%v", p, ok)
+	}
+
+	// The deepest level never pushes, however large.
+	view = []compact.RunInfo{{Level: 3, Seq: 9, Bytes: 1 << 20}}
+	if _, ok := pol.NextPlan(view); ok {
+		t.Fatal("deepest level produced a plan")
+	}
+
+	// Within-target levels are left alone.
+	view = []compact.RunInfo{{Level: 1, Seq: 7, Bytes: 90}}
+	if _, ok := pol.NextPlan(view); ok {
+		t.Fatal("within-target level produced a plan")
+	}
+}
+
+// fakeHost scripts a Host for engine tests.
+type fakeHost struct {
+	views    [][]compact.RunInfo // consumed one per Levels() call
+	results  []compact.Result    // consumed one per Compact() call
+	plans    []compact.Plan
+	waited   []*dep.Dependency
+	err      error
+	levelIdx int
+	resIdx   int
+}
+
+func (h *fakeHost) Levels() []compact.RunInfo {
+	if h.levelIdx >= len(h.views) {
+		return h.views[len(h.views)-1]
+	}
+	v := h.views[h.levelIdx]
+	h.levelIdx++
+	return v
+}
+
+func (h *fakeHost) Compact(p compact.Plan) (compact.Result, error) {
+	h.plans = append(h.plans, p)
+	if h.err != nil {
+		return compact.Result{}, h.err
+	}
+	r := h.results[h.resIdx]
+	h.resIdx++
+	return r, nil
+}
+
+func (h *fakeHost) WaitDurable(d *dep.Dependency) error {
+	h.waited = append(h.waited, d)
+	return nil
+}
+
+func fullL0() []compact.RunInfo {
+	return []compact.RunInfo{
+		{Level: 0, Seq: 4, Bytes: 8}, {Level: 0, Seq: 3, Bytes: 8},
+		{Level: 0, Seq: 2, Bytes: 8}, {Level: 0, Seq: 1, Bytes: 8},
+	}
+}
+
+func TestEngineStepAppliesAndWaits(t *testing.T) {
+	man := dep.Resolved()
+	host := &fakeHost{
+		views:   [][]compact.RunInfo{fullL0(), {{Level: 1, Seq: 5, Bytes: 30}}},
+		results: []compact.Result{{Applied: true, BytesIn: 32, BytesOut: 30, Manifest: man}},
+	}
+	o := obs.New(nil)
+	eng := compact.New(host, compact.Policy{}, o)
+	did, err := eng.Step()
+	if err != nil || !did {
+		t.Fatalf("step: did=%v err=%v", did, err)
+	}
+	if len(host.plans) != 1 || host.plans[0].OutLevel != 1 {
+		t.Fatalf("plans: %+v", host.plans)
+	}
+	if len(host.waited) != 1 || host.waited[0] != man {
+		t.Fatalf("durability wait: %+v", host.waited)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["compact.steps"] != 1 || snap.Counters["compact.bytes_rewritten"] != 30 {
+		t.Fatalf("metrics: %+v", snap.Counters)
+	}
+	if snap.Gauges["compact.levels"] != 1 {
+		t.Fatalf("levels gauge: %d", snap.Gauges["compact.levels"])
+	}
+	if snap.Histograms["compact.duration"].Count != 1 {
+		t.Fatalf("duration histogram: %+v", snap.Histograms["compact.duration"])
+	}
+}
+
+func TestEngineStepNoWaitSkipsBarrier(t *testing.T) {
+	host := &fakeHost{
+		views:   [][]compact.RunInfo{fullL0(), {{Level: 1, Seq: 5, Bytes: 30}}},
+		results: []compact.Result{{Applied: true, Manifest: dep.Resolved()}},
+	}
+	eng := compact.New(host, compact.Policy{}, nil)
+	did, err := eng.StepNoWait()
+	if err != nil || !did {
+		t.Fatalf("step: did=%v err=%v", did, err)
+	}
+	if len(host.waited) != 0 {
+		t.Fatalf("StepNoWait crossed the barrier: %+v", host.waited)
+	}
+}
+
+func TestEngineCASLossCountsAbort(t *testing.T) {
+	host := &fakeHost{
+		views:   [][]compact.RunInfo{fullL0()},
+		results: []compact.Result{{Applied: false}},
+	}
+	o := obs.New(nil)
+	eng := compact.New(host, compact.Policy{}, o)
+	did, err := eng.Step()
+	if err != nil || did {
+		t.Fatalf("lost CAS step: did=%v err=%v", did, err)
+	}
+	if o.Snapshot().Counters["compact.aborts"] != 1 {
+		t.Fatalf("aborts: %+v", o.Snapshot().Counters)
+	}
+}
+
+func TestEngineHostErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	host := &fakeHost{views: [][]compact.RunInfo{fullL0()}, err: boom}
+	eng := compact.New(host, compact.Policy{}, nil)
+	if _, err := eng.Step(); !errors.Is(err, boom) {
+		t.Fatalf("host error: %v", err)
+	}
+}
+
+func TestEngineQuiesceRunsToFixpoint(t *testing.T) {
+	// Two plans apply (L0 promotion, then L1 push), then the shape settles.
+	host := &fakeHost{
+		views: [][]compact.RunInfo{
+			fullL0(),
+			{{Level: 1, Seq: 5, Bytes: 1 << 20}},
+			{{Level: 1, Seq: 5, Bytes: 1 << 20}},
+			{{Level: 2, Seq: 6, Bytes: 100}},
+			{{Level: 2, Seq: 6, Bytes: 100}},
+		},
+		results: []compact.Result{
+			{Applied: true, Manifest: dep.Resolved()},
+			{Applied: true, Manifest: dep.Resolved()},
+		},
+	}
+	eng := compact.New(host, compact.Policy{BaseBytes: 64}, nil)
+	applied, err := eng.Quiesce(10)
+	if err != nil || applied != 2 {
+		t.Fatalf("quiesce: applied=%d err=%v", applied, err)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"shardstore/internal/compact"
+	"shardstore/internal/disk"
+	"shardstore/internal/faults"
+	"shardstore/internal/store"
+	"shardstore/internal/vsync"
+)
+
+// This file holds the shuttle harnesses for leveled compaction: background
+// compaction steps interleaved with foreground puts, gets, reclamation, and
+// a crash — the §6 pattern applied to the manifest-generation swap. The
+// properties: read-after-write holds while compactions run, a clean reboot
+// loses nothing, and a crash at any explored interleaving point recovers to
+// a state where every durable-acknowledged write still reads back.
+
+// compactConcConfig is concStoreConfig plus an aggressive compaction policy,
+// so the tiny harness histories still produce multi-level shapes.
+func compactConcConfig(bugs *faults.Set) store.Config {
+	cfg := concStoreConfig(bugs)
+	cfg.MaxRuns = 16 // see Bug14Harness: avoid cache-healing auto-compactions
+	cfg.Compact = compact.Policy{L0Trigger: 2, BaseBytes: 256, Growth: 2, MaxLevels: 4}
+	return cfg
+}
+
+// seedCompactRuns populates several L0 runs so the engine has work to do.
+func seedCompactRuns(st *store.Store, keys int) {
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		must(e2(st.Put(k, bytes.Repeat([]byte{byte(i + 1)}, 80))), "seed put")
+		if i%2 == 1 {
+			must(e2(st.FlushIndex()), "seed flush")
+		}
+	}
+	must(e2(st.FlushIndex()), "seed flush final")
+	must(st.Pump(), "seed pump")
+}
+
+// CompactForegroundHarness interleaves leveled compaction with a foreground
+// writer (read-after-write property), a reader over seeded keys, and chunk
+// reclamation, then sweeps everything through a clean reboot. It is the
+// Fig 4 shape with the incremental manifest-swapping compaction in place of
+// the full merge.
+func CompactForegroundHarness(bugs *faults.Set) func() {
+	return func() {
+		st := mustStore(compactConcConfig(bugs))
+		seedCompactRuns(st, 6)
+
+		t1 := vsync.Go("compact", func() {
+			for i := 0; i < 3; i++ {
+				must(e2(st.CompactStep()), "compact step")
+			}
+		})
+		t2 := vsync.Go("reclaim", func() {
+			for _, ext := range st.Chunks().ReclaimCandidates() {
+				_ = st.Reclaim(ext)
+			}
+		})
+		t3 := vsync.Go("writer", func() {
+			for i := 0; i < 2; i++ {
+				k := fmt.Sprintf("k%d", i)
+				v := bytes.Repeat([]byte{0xB0 + byte(i)}, 100)
+				must(e2(st.Put(k, v)), "write")
+				got, err := st.Get(k)
+				if err != nil || !bytes.Equal(got, v) {
+					panic(fmt.Sprintf("read-after-write violation on %s during compaction: got %d bytes, err=%v", k, len(got), err))
+				}
+			}
+		})
+		t4 := vsync.Go("reader", func() {
+			for i := 2; i < 6; i++ {
+				k := fmt.Sprintf("k%d", i)
+				got, err := st.Get(k)
+				if err != nil {
+					panic(fmt.Sprintf("read of %s failed during compaction: %v", k, err))
+				}
+				if len(got) == 0 {
+					panic(fmt.Sprintf("read of %s returned empty value during compaction", k))
+				}
+			}
+		})
+		t1.Join()
+		t2.Join()
+		t3.Join()
+		t4.Join()
+
+		st2 := cleanReopen(st)
+		for i := 0; i < 6; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, err := st2.Get(k); err != nil {
+				panic(fmt.Sprintf("key %s lost after concurrent compaction: %v", k, err))
+			}
+		}
+	}
+}
+
+// CompactCrashHarness races durable foreground writes against compaction
+// steps, then crashes (tearing nothing the cache already holds — the torn
+// states themselves are the conformance harness's domain) at whatever point
+// the schedule reached and recovers. Every write that crossed the commit
+// barrier before the crash must read back byte-identically: an in-flight
+// manifest swap is invisible if it didn't commit, and complete if it did.
+func CompactCrashHarness(bugs *faults.Set) func() {
+	return func() {
+		st := mustStore(compactConcConfig(bugs))
+		seedCompactRuns(st, 4)
+
+		durable := make([][]byte, 2)
+		t1 := vsync.Go("compact", func() {
+			for i := 0; i < 3; i++ {
+				must(e2(st.CompactStep()), "compact step")
+			}
+		})
+		t2 := vsync.Go("writer", func() {
+			for i := 0; i < 2; i++ {
+				k := fmt.Sprintf("k%d", i)
+				v := bytes.Repeat([]byte{0xC0 + byte(i)}, 90)
+				d, err := st.Put(k, v)
+				must(err, "durable write")
+				if err == nil {
+					if werr := st.WaitDurable(d); werr == nil {
+						durable[i] = v
+					}
+				}
+			}
+		})
+		t1.Join()
+		t2.Join()
+
+		st.CrashKeep(func(disk.PageAddr) bool { return true })
+		st2, err := store.Open(st.Disk(), st.Config())
+		if err != nil {
+			panic(fmt.Sprintf("recovery after crash during compaction: %v", err))
+		}
+		for i, v := range durable {
+			if v == nil {
+				continue
+			}
+			k := fmt.Sprintf("k%d", i)
+			got, err := st2.Get(k)
+			if err != nil || !bytes.Equal(got, v) {
+				panic(fmt.Sprintf("durable write %s lost across crash during compaction: got %d bytes, err=%v", k, len(got), err))
+			}
+		}
+		// Seeded keys were flushed and pumped before the race; they must
+		// survive any crash point too.
+		for i := 2; i < 4; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, err := st2.Get(k); err != nil {
+				panic(fmt.Sprintf("seeded key %s lost across crash during compaction: %v", k, err))
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"shardstore/internal/compact"
+	"shardstore/internal/disk"
+	"shardstore/internal/faults"
+	"shardstore/internal/store"
+)
+
+// aggressiveCompact makes leveled compaction fire constantly under the tiny
+// conformance geometries: two L0 runs trigger a promotion and a few hundred
+// bytes push a level deeper, so short random histories still explore multi-
+// level shapes and frequent manifest-generation swaps.
+func aggressiveCompact() compact.Policy {
+	return compact.Policy{L0Trigger: 2, BaseBytes: 256, Growth: 2, MaxLevels: 4}
+}
+
+// TestCompactStaleManifestDetected seeds the leveled-compaction defect — the
+// manifest generation is published without a dependency on the output run
+// chunk — and requires the crash-consistency check to catch it: a crash can
+// persist the manifest page while dropping the chunk's pages, so recovery
+// serves a generation whose merged run never reached the media and reads of
+// previously acknowledged shards fail against the model.
+func TestCompactStaleManifestDetected(t *testing.T) {
+	cfg := Config{
+		Seed: 1234, Cases: 4000, OpsPerCase: 50,
+		Bias:              DefaultBias(),
+		EnableCrashes:     true,
+		EnableGroupCommit: true,
+		EnableCompaction:  true,
+		StoreConfig: store.Config{
+			Compact: aggressiveCompact(),
+			Bugs:    faults.NewSet(faults.FaultCompactStaleManifest),
+		},
+		Minimize: true,
+	}
+	res := Run(cfg)
+	if res.Failure == nil {
+		t.Fatalf("stale-manifest fault not detected in %d cases (%d ops, %d crashes)",
+			res.Cases, res.Ops, res.Crashes)
+	}
+	t.Logf("detected in case %d; minimized to %d ops: %v",
+		res.Failure.Case, len(res.Failure.Minimized), res.Failure.MinimizedErr)
+}
+
+// TestCompactionConformanceStress runs the full conformance harness with
+// leveled compaction in the alphabet: 12k cases across three seeds must stay
+// clean — a crash at any explored point during a compaction leaves reads
+// serving the previous manifest generation byte-identically, because the
+// inputs stay referenced by the durable manifest until the swap commits.
+func TestCompactionConformanceStress(t *testing.T) {
+	if raceEnabled {
+		t.Skip("12k-case stress skipped under -race; covered by the non-race suite")
+	}
+	seeds := []int64{1234, 77, 20260807}
+	cases := 4000
+	if testing.Short() {
+		seeds = seeds[:1]
+		cases = 1000
+	}
+	for _, seed := range seeds {
+		seed := seed
+		cfg := Config{
+			Seed: seed, Cases: cases, OpsPerCase: 60,
+			Bias:              Bias{KeyReuse: 0.8, PageSizeValues: 0.6, ConstantValueBytes: 0.5, ZeroValues: 0.5, UUIDZeroBias: 0.6},
+			EnableCrashes:     true,
+			EnableReboots:     true,
+			EnableGroupCommit: true,
+			EnableCompaction:  true,
+			StoreConfig: store.Config{
+				Disk:    disk.Config{PageSize: 128, PagesPerExtent: 8, ExtentCount: 8},
+				Compact: aggressiveCompact(),
+				Bugs:    faults.NewSet(),
+			},
+			Minimize: true,
+		}
+		res := Run(cfg)
+		if res.Failure != nil {
+			t.Fatalf("seed %d case %d: %v\nminimized(%d): %v", seed,
+				res.Failure.Case, res.Failure.MinimizedErr, len(res.Failure.Minimized), res.Failure.Minimized)
+		}
+		t.Logf("seed %d: %d cases, %d ops, %d crashes clean", seed, res.Cases, res.Ops, res.Crashes)
+	}
+}

@@ -43,6 +43,11 @@ type Config struct {
 	// EnableGroupCommit includes PutDurable in the alphabet: a put that
 	// blocks on the scheduler's group-commit barrier until durable.
 	EnableGroupCommit bool
+	// EnableCompaction includes CompactStep in the alphabet: one leveled
+	// compaction (plan + merge + manifest-generation swap) applied without a
+	// durability wait, so the interleaved crash ops explore the window
+	// between the swap being staged and reaching the media.
+	EnableCompaction bool
 	// EnableCorruption includes silent-corruption injection (RotReplica /
 	// RotAll). It arms FaultSilentCorruption in the store's fault set and
 	// defaults StoreConfig.Replicas to 2, so the checked property is the
@@ -485,6 +490,16 @@ func (es *execState) apply(op Op) error {
 			return nil
 		}
 		return es.opFailure("CompactIndex", es.st.CompactIndex())
+
+	case OpCompactStep:
+		if !es.inService {
+			return nil
+		}
+		// Compaction rewrites representation, never contents: the reference
+		// model is unchanged, and the equivalence checks after this op are
+		// what verify the rewrite preserved every entry.
+		_, err := es.st.CompactStep()
+		return es.opFailure("CompactStep", err)
 
 	case OpReclaim:
 		if !es.inService {

@@ -69,6 +69,11 @@ const (
 	// barrier until its dependency is persistent — the durability-waiting
 	// write path the RPC flagDurable plane uses.
 	OpPutDurable
+	// OpCompactStep applies at most one leveled compaction (plan + merge +
+	// manifest-generation swap), without a durability wait: the harness's
+	// own scheduling ops decide when the swap reaches the media, which is
+	// exactly the window the crash-consistency check must explore.
+	OpCompactStep
 
 	numOpKinds
 )
@@ -95,6 +100,7 @@ var opNames = map[OpKind]string{
 	OpRotReplica:      "RotReplica",
 	OpRotAll:          "RotAll",
 	OpPutDurable:      "PutDurable",
+	OpCompactStep:     "CompactStep",
 }
 
 func (k OpKind) String() string {
@@ -240,6 +246,9 @@ func opWeights(cfg Config) map[OpKind]int {
 	}
 	if cfg.EnableGroupCommit {
 		w[OpPutDurable] = 6
+	}
+	if cfg.EnableCompaction {
+		w[OpCompactStep] = 5
 	}
 	if cfg.EnableCorruption {
 		w[OpRotReplica] = 6

@@ -79,6 +79,14 @@ const (
 	// must catch after a crash.
 	FaultGroupCommitTornBarrier
 
+	// FaultCompactStaleManifest seeds a leveled-compaction defect: the new
+	// manifest generation is published without a dependency on the output
+	// run chunk, so both sit in the volatile write cache as peers. A crash
+	// that tears the cache can persist the manifest page while dropping the
+	// chunk's pages — recovery then serves a generation whose merged run
+	// never reached the media, and the index entries it carried are gone.
+	FaultCompactStaleManifest
+
 	numBugs
 )
 
@@ -159,6 +167,8 @@ func (b Bug) String() string {
 		return "fault(scrub-repair-unverified)"
 	case FaultGroupCommitTornBarrier:
 		return "fault(group-commit-torn-barrier)"
+	case FaultCompactStaleManifest:
+		return "fault(compact-stale-manifest)"
 	}
 	return fmt.Sprintf("bug#%d", int(b))
 }

@@ -1,0 +1,118 @@
+// Manifest encoding: the metadata record that names the tree's current run
+// list. Version 2 carries a manifest generation number and a per-run level,
+// the substrate for leveled compaction (internal/compact): every mutation of
+// the run list — flush, compaction, relocation — publishes a complete new
+// manifest under a bumped generation, and recovery's highest-valid-record
+// rule makes the publication a single atomic swap of the "current" pointer
+// (histdb's generation-numbered current file, transplanted onto the
+// metadata-slot CAS discipline).
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"shardstore/internal/chunk"
+	"shardstore/internal/dep"
+)
+
+// MaxLevels is the deepest level a run can occupy. Level 0 holds raw flush
+// output (runs overlap, newest first); levels 1..MaxLevels hold one merged
+// run each. The metadata slots are sized for MaxLevels, so compaction
+// policies must not exceed it.
+const MaxLevels = 4
+
+// manifestMarker opens a v2 manifest. It is unrepresentable as a v1 run
+// count (the v1 decoder rejects counts larger than the record), so the two
+// layouts cannot be confused.
+const manifestMarker = 0xFFFFFFFF
+
+// maxManifestGen is the last usable generation; the counter refuses to wrap.
+const maxManifestGen = ^uint64(0) - 1
+
+// ErrManifestGenExhausted is returned when the manifest generation counter
+// would wrap. At one generation per flush this is unreachable in any real
+// deployment; the guard exists so the failure mode is an explicit error, not
+// a silent generation collision that recovery would misorder.
+var ErrManifestGenExhausted = errors.New("lsm: manifest generation counter exhausted")
+
+const manifestRunLen = 1 + 8 + 12 // level byte + seq + locator
+
+// encodeManifest serializes a v2 manifest: marker, generation, run count,
+// then per run a level byte, the sequence number, and the locator — in read
+// order (L0 newest first, then ascending levels).
+func encodeManifest(gen uint64, runs []runRef) []byte {
+	buf := make([]byte, 0, 16+len(runs)*manifestRunLen)
+	buf = binary.BigEndian.AppendUint32(buf, manifestMarker)
+	buf = binary.BigEndian.AppendUint64(buf, gen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(runs)))
+	for _, r := range runs {
+		buf = append(buf, byte(r.level))
+		buf = binary.BigEndian.AppendUint64(buf, r.seq)
+		buf = append(buf, chunk.EncodeLocator(r.loc)...)
+	}
+	return buf
+}
+
+// decodeManifest parses a metadata record, accepting both layouts: a v2
+// manifest yields its generation, a v1 flat run list (pre-compaction
+// deployments) yields generation 0 with every run at level 0 — read order is
+// identical, and the first leveled compaction rebuilds the level structure.
+func decodeManifest(buf []byte) ([]runRef, uint64, error) {
+	if len(buf) >= 4 && binary.BigEndian.Uint32(buf[:4]) == manifestMarker {
+		if len(buf) < 16 {
+			return nil, 0, fmt.Errorf("lsm: short manifest header")
+		}
+		gen := binary.BigEndian.Uint64(buf[4:12])
+		count := int(binary.BigEndian.Uint32(buf[12:16]))
+		rest := buf[16:]
+		if count < 0 || count*manifestRunLen > len(rest) {
+			return nil, 0, fmt.Errorf("lsm: implausible manifest run count %d", count)
+		}
+		runs := make([]runRef, 0, count)
+		for i := 0; i < count; i++ {
+			level := int(rest[0])
+			if level > MaxLevels {
+				return nil, 0, fmt.Errorf("lsm: manifest run level %d exceeds MaxLevels %d", level, MaxLevels)
+			}
+			seq := binary.BigEndian.Uint64(rest[1:9])
+			loc, r2, err := chunk.DecodeLocator(rest[9:])
+			if err != nil {
+				return nil, 0, err
+			}
+			rest = r2
+			runs = append(runs, runRef{seq: seq, loc: loc, level: level})
+		}
+		return runs, gen, nil
+	}
+	runs, err := decodeRunList(buf)
+	return runs, 0, err
+}
+
+// stageManifestLocked bumps the manifest generation and enqueues the record
+// for the current run list, ordered after waits. It requires t.mu held: the
+// run-list snapshot and the record's metadata-slot generation must not
+// interleave with a concurrent flush, compaction, or relocation, or a
+// higher-generation record could carry an older run list.
+func (t *Tree) stageManifestLocked(waits ...*dep.Dependency) (*dep.Dependency, error) {
+	if t.manifestGen >= maxManifestGen {
+		return nil, ErrManifestGenExhausted
+	}
+	t.manifestGen++
+	return t.ms.WriteRecord(encodeManifest(t.manifestGen, t.runs), waits...)
+}
+
+// ManifestGen returns the current manifest generation.
+func (t *Tree) ManifestGen() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.manifestGen
+}
+
+// SetManifestGenForTest forces the generation counter, for wraparound tests.
+func (t *Tree) SetManifestGenForTest(gen uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.manifestGen = gen
+}

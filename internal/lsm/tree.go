@@ -1,10 +1,11 @@
 // Package lsm implements ShardStore's index: a log-structured merge tree
 // mapping shard identifiers to values (chunk locator lists), itself stored
 // as chunks on disk (§2.1, WiscKey-style). The in-memory memtable absorbs
-// writes; Flush serializes it into a sorted run chunk and records the run in
-// the tree's metadata; Compact merges runs. Because the tree's own chunks
-// live on reclaimable extents, the tree also implements the reclamation
-// resolver for index-run chunks.
+// writes; Flush serializes it into a sorted level-0 run chunk and publishes a
+// new manifest generation naming it; compaction (ApplyPlan, driven by
+// internal/compact) merges runs into deeper levels. Because the tree's own
+// chunks live on reclaimable extents, the tree also implements the
+// reclamation resolver for index-run chunks.
 package lsm
 
 import (
@@ -73,8 +74,11 @@ type treeMetrics struct {
 	flushes     *obs.Counter
 	compactions *obs.Counter
 	runLoads    *obs.Counter
+	gets        *obs.Counter
+	runsProbed  *obs.Counter
 	memEntries  *obs.Gauge
 	runCount    *obs.Gauge
+	levels      *obs.Gauge
 	flushDur    *obs.Histogram
 	compactDur  *obs.Histogram
 }
@@ -84,8 +88,11 @@ func newTreeMetrics(o *obs.Obs) treeMetrics {
 		flushes:     o.Counter("lsm.flushes"),
 		compactions: o.Counter("lsm.compactions"),
 		runLoads:    o.Counter("lsm.run_loads"),
+		gets:        o.Counter("lsm.gets"),
+		runsProbed:  o.Counter("lsm.runs_probed"),
 		memEntries:  o.Gauge("lsm.mem_entries"),
 		runCount:    o.Gauge("lsm.runs"),
+		levels:      o.Gauge("lsm.levels"),
 		flushDur:    o.Histogram("lsm.flush_dur"),
 		compactDur:  o.Histogram("lsm.compact_dur"),
 	}
@@ -113,6 +120,11 @@ type memEntry struct {
 type runRef struct {
 	seq uint64
 	loc chunk.Locator
+	// level is the run's compaction level: 0 for raw flush output (runs
+	// overlap; newest first in t.runs), 1..MaxLevels for merged runs (one
+	// per level, ascending after the L0 block). Slice order in t.runs is
+	// always read-precedence order, so Get probes newest data first.
+	level int
 }
 
 // Tree is the production LSM index.
@@ -134,13 +146,14 @@ type Tree struct {
 	// a concurrent Get cannot miss entries mid-flush, and a concurrent Put
 	// goes into the fresh memtable instead of being wiped by the flush — a
 	// lost-update race this very repository's Fig 4 harness caught.
-	flushing  map[string]memEntry
-	flushMu   vsync.Mutex // serializes flushes (one memtable generation in flight)
-	compactMu vsync.Mutex // serializes compactions (flushMu may be held while taking it, never the reverse)
-	runs      []runRef    // newest first
-	runSeq    uint64
-	runCache  map[chunk.Locator][]Entry
-	lastFlush *dep.Dependency
+	flushing    map[string]memEntry
+	flushMu     vsync.Mutex // serializes flushes (one memtable generation in flight)
+	compactMu   vsync.Mutex // serializes compactions (flushMu may be held while taking it, never the reverse)
+	runs        []runRef    // read-precedence order: L0 newest first, then ascending levels
+	runSeq      uint64
+	manifestGen uint64
+	runCache    map[chunk.Locator][]Entry
+	lastFlush   *dep.Dependency
 }
 
 // FutureFactory creates unbound dependencies; satisfied by *dep.Scheduler.
@@ -176,41 +189,46 @@ func NewTree(cs ChunkStore, ms MetaStore, futs FutureFactory, cfg Config, cov *c
 		return nil, err
 	}
 	if payload != nil {
-		runs, err := decodeRunList(payload)
+		runs, gen, err := decodeManifest(payload)
 		if err != nil {
 			return nil, err
 		}
 		t.runs = runs
+		t.manifestGen = gen
 		for _, r := range runs {
 			if r.seq >= t.runSeq {
 				t.runSeq = r.seq + 1
 			}
 		}
-		t.met.runCount.Set(int64(len(runs)))
+		t.updateRunMetricsLocked()
 		cov.Hit("lsm.recovered")
 	}
 	return t, nil
 }
 
 // MaxMetaPayload returns the metadata payload bound for the given run limit,
-// used to size the metadata slots.
+// used to size the metadata slots. The bound covers MaxRuns level-0 runs
+// (plus one of transient headroom while a flush races a compaction abort)
+// and one merged run per level 1..MaxLevels.
 func MaxMetaPayload(maxRuns int) int {
 	if maxRuns <= 0 {
 		maxRuns = DefaultMaxRuns
 	}
-	return 4 + maxRuns*(8+12)
+	return 16 + (maxRuns+MaxLevels+1)*manifestRunLen
 }
 
-func encodeRunList(runs []runRef) []byte {
-	buf := make([]byte, 0, 4+len(runs)*(8+12))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(runs)))
-	for _, r := range runs {
-		buf = binary.BigEndian.AppendUint64(buf, r.seq)
-		buf = append(buf, chunk.EncodeLocator(r.loc)...)
+// updateRunMetricsLocked refreshes the run-shape gauges; requires t.mu.
+func (t *Tree) updateRunMetricsLocked() {
+	t.met.runCount.Set(int64(len(t.runs)))
+	seen := make(map[int]bool, len(t.runs))
+	for _, r := range t.runs {
+		seen[r.level] = true
 	}
-	return buf
+	t.met.levels.Set(int64(len(seen)))
 }
 
+// decodeRunList parses the v1 (pre-leveled) flat run list; kept so recovery
+// accepts manifests written before the v2 generation format.
 func decodeRunList(buf []byte) ([]runRef, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("lsm: short run list")
@@ -267,8 +285,13 @@ func (t *Tree) Delete(key string, waits ...*dep.Dependency) (*dep.Dependency, er
 	return t.future, nil
 }
 
-// Get implements Index.
+// Get implements Index. The probe order is t.runs' slice order — newest
+// manifest data first — so when two generations' chunks are momentarily both
+// live (a compaction just published, reclamation has not swept the inputs),
+// reads see only the newest generation. lsm.runs_probed over lsm.gets is the
+// read-amplification ratio leveled compaction exists to bound.
 func (t *Tree) Get(key string) ([]byte, error) {
+	t.met.gets.Inc()
 	t.mu.Lock()
 	if e, ok := t.mem[key]; ok {
 		t.mu.Unlock()
@@ -288,6 +311,7 @@ func (t *Tree) Get(key string) ([]byte, error) {
 	t.mu.Unlock()
 
 	for _, r := range runs {
+		t.met.runsProbed.Inc()
 		entries, err := t.loadRun(r)
 		if err != nil {
 			return nil, err
@@ -458,7 +482,13 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 	}
 	seq := t.runSeq
 	t.runSeq++
-	needCompact := len(t.runs)+1 > t.cfg.MaxRuns
+	l0 := 0
+	for _, r := range t.runs {
+		if r.level == 0 {
+			l0++
+		}
+	}
+	needCompact := l0+1 > t.cfg.MaxRuns
 	t.met.memEntries.Set(0)
 	t.mu.Unlock()
 
@@ -479,7 +509,9 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 	}
 
 	if needCompact {
-		if err := t.Compact(); err != nil {
+		// Push the whole L0 block (and the resident L1 run, if any) into L1
+		// before registering the new run, so L0 stays bounded by MaxRuns.
+		if err := t.compactL0(); err != nil {
 			restore()
 			return nil, err
 		}
@@ -499,9 +531,8 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 	// must not interleave with a concurrent compaction or relocation, or a
 	// higher-generation record could carry an older run list.
 	t.mu.Lock()
-	t.runs = append([]runRef{{seq: seq, loc: loc}}, t.runs...)
+	t.runs = append([]runRef{{seq: seq, loc: loc, level: 0}}, t.runs...)
 	t.runCache[loc] = entries
-	rec := encodeRunList(t.runs)
 	t.flushing = nil // the run is registered; reads find it there
 	var flushDep *dep.Dependency
 	var mdErr error
@@ -514,7 +545,7 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 		flushDep = cdep
 	} else {
 		var mdep *dep.Dependency
-		mdep, mdErr = t.ms.WriteRecord(rec, cdep)
+		mdep, mdErr = t.stageManifestLocked(cdep)
 		if mdErr == nil {
 			flushDep = cdep.And(mdep)
 		}
@@ -529,7 +560,7 @@ func (t *Tree) flush(skipMeta bool) (*dep.Dependency, error) {
 		t.futs.Bind(future, flushDep)
 	}
 	t.lastFlush = flushDep
-	t.met.runCount.Set(int64(len(t.runs)))
+	t.updateRunMetricsLocked()
 	t.mu.Unlock()
 	t.cov.Hit("lsm.flush")
 	t.met.flushes.Inc()
@@ -550,10 +581,12 @@ func (t *Tree) Shutdown() (*dep.Dependency, error) {
 }
 
 // Compact implements Index: it merges every on-disk run into one, dropping
-// tombstones, and rewrites the metadata. The new run's extent stays pinned
-// (the release closure) until the metadata references it; the paper's bug
-// #14 released the pin before the metadata update, letting a concurrent
-// reclamation drop the brand-new run chunk.
+// tombstones, and publishes the new manifest generation. The new run's extent
+// stays pinned (the release closure) until the manifest references it; the
+// paper's bug #14 released the pin before the metadata update, letting a
+// concurrent reclamation drop the brand-new run chunk. Leveled compaction
+// (ApplyPlan) does incremental per-level merges instead; this full merge
+// remains the control-plane CompactIndex operation.
 func (t *Tree) Compact() error {
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
@@ -578,6 +611,15 @@ func (t *Tree) compactLocked() error {
 		loaded = append(loaded, entries)
 	}
 	merged := mergeRuns(loaded, true)
+	// The full merge subsumes every input, so the output belongs at the
+	// deepest level any input occupied (at least 1: it is merged, not raw
+	// flush output).
+	outLevel := 1
+	for _, r := range runs {
+		if r.level > outLevel {
+			outLevel = r.level
+		}
+	}
 
 	t.mu.Lock()
 	seq := t.runSeq
@@ -616,21 +658,11 @@ func (t *Tree) compactLocked() error {
 	// Replace exactly the runs we merged; runs flushed concurrently (they
 	// are prepended) stay.
 	keep := t.runs[:len(t.runs)-len(runs)]
-	t.runs = append(append([]runRef(nil), keep...), runRef{seq: seq, loc: loc})
+	t.runs = append(append([]runRef(nil), keep...), runRef{seq: seq, loc: loc, level: outLevel})
 	t.runCache[loc] = merged
-	// Prune cache entries for runs the merge superseded.
-	live := make(map[chunk.Locator]bool, len(t.runs))
-	for _, r := range t.runs {
-		live[r.loc] = true
-	}
-	for l := range t.runCache {
-		if !live[l] {
-			delete(t.runCache, l)
-		}
-	}
-	rec := encodeRunList(t.runs)
-	t.met.runCount.Set(int64(len(t.runs)))
-	_, werr := t.ms.WriteRecord(rec, cdep)
+	t.pruneRunCacheLocked()
+	t.updateRunMetricsLocked()
+	_, werr := t.stageManifestLocked(cdep)
 	t.mu.Unlock()
 	if werr != nil {
 		return werr
@@ -642,6 +674,20 @@ func (t *Tree) compactLocked() error {
 		t.obs.Record("lsm", "compact", runKey, "ok", t.obs.Now()-start)
 	}
 	return nil
+}
+
+// pruneRunCacheLocked drops cache entries for runs no manifest names;
+// requires t.mu.
+func (t *Tree) pruneRunCacheLocked() {
+	live := make(map[chunk.Locator]bool, len(t.runs))
+	for _, r := range t.runs {
+		live[r.loc] = true
+	}
+	for l := range t.runCache {
+		if !live[l] {
+			delete(t.runCache, l)
+		}
+	}
 }
 
 // RunLocs returns the locators of the current on-disk runs (diagnostics).
@@ -711,8 +757,7 @@ func (r RunResolver) RelocateChunk(key string, old, newLoc chunk.Locator, newDep
 		t.runCache[newLoc] = entries
 		delete(t.runCache, old)
 	}
-	rec := encodeRunList(t.runs)
-	mdep, err := t.ms.WriteRecord(rec, newDep)
+	mdep, err := t.stageManifestLocked(newDep)
 	t.mu.Unlock()
 	if err != nil {
 		return false, nil, err

@@ -1,0 +1,241 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"shardstore/internal/dep"
+	"shardstore/internal/lsm"
+)
+
+// RefLevels is the reference model for the leveled LSM index, in the
+// CobbleDB style: each level is itself modeled as a simple composed store —
+// a memtable map, a list of L0 run maps (newest first), and one map per
+// deeper level — and a read consults them in precedence order. Where
+// RefIndex specifies only the key-value mapping (and so validates that
+// compaction changes nothing observable), RefLevels additionally specifies
+// the *level structure*: which entries live at which level after a flush,
+// an L0 promotion, or a level push. The lockstep test drives the production
+// tree and this model through identical operations and compares both the
+// flattened mapping and the per-level composition.
+type RefLevels struct {
+	mem map[string]refCell
+	l0  []map[string]refCell // newest first
+	// deep[l] is the single merged store at level l (1..MaxLevels).
+	deep map[int]map[string]refCell
+}
+
+// refCell is one modeled entry: a value or a tombstone.
+type refCell struct {
+	value     []byte
+	tombstone bool
+}
+
+// NewRefLevels returns an empty leveled reference model.
+func NewRefLevels() *RefLevels {
+	return &RefLevels{
+		mem:  make(map[string]refCell),
+		deep: make(map[int]map[string]refCell),
+	}
+}
+
+// Put implements lsm.Index.
+func (r *RefLevels) Put(key string, value []byte, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	r.mem[key] = refCell{value: append([]byte(nil), value...)}
+	return dep.Resolved(), nil
+}
+
+// Delete implements lsm.Index: it buffers a tombstone, exactly like the tree.
+func (r *RefLevels) Delete(key string, waits ...*dep.Dependency) (*dep.Dependency, error) {
+	r.mem[key] = refCell{tombstone: true}
+	return dep.Resolved(), nil
+}
+
+// lookup returns the newest cell for key across the composed stores.
+func (r *RefLevels) lookup(key string) (refCell, bool) {
+	if c, ok := r.mem[key]; ok {
+		return c, true
+	}
+	for _, run := range r.l0 {
+		if c, ok := run[key]; ok {
+			return c, true
+		}
+	}
+	for lv := 1; lv <= lsm.MaxLevels; lv++ {
+		if c, ok := r.deep[lv][key]; ok {
+			return c, true
+		}
+	}
+	return refCell{}, false
+}
+
+// Get implements lsm.Index.
+func (r *RefLevels) Get(key string) ([]byte, error) {
+	c, ok := r.lookup(key)
+	if !ok || c.tombstone {
+		return nil, lsm.ErrNotFound
+	}
+	return append([]byte(nil), c.value...), nil
+}
+
+// Keys implements lsm.Index.
+func (r *RefLevels) Keys() ([]string, error) {
+	seen := make(map[string]bool)
+	collect := func(m map[string]refCell) {
+		for k := range m {
+			seen[k] = true
+		}
+	}
+	collect(r.mem)
+	for _, run := range r.l0 {
+		collect(run)
+	}
+	for lv := 1; lv <= lsm.MaxLevels; lv++ {
+		collect(r.deep[lv])
+	}
+	all := make([]string, 0, len(seen))
+	for k := range seen {
+		all = append(all, k)
+	}
+	sort.Strings(all)
+	var out []string
+	for _, k := range all {
+		if c, _ := r.lookup(k); !c.tombstone {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Flush implements lsm.Index: the memtable becomes the newest L0 run.
+func (r *RefLevels) Flush() (*dep.Dependency, error) {
+	if len(r.mem) == 0 {
+		return dep.Resolved(), nil
+	}
+	r.l0 = append([]map[string]refCell{r.mem}, r.l0...)
+	r.mem = make(map[string]refCell)
+	return dep.Resolved(), nil
+}
+
+// PromoteL0 mirrors the tree's L0→L1 compaction (flush auto-compaction and
+// the engine's L0-pressure plan): every L0 run and the resident L1 store
+// merge into L1, newest winning; tombstones are elided only when no deeper
+// level holds data they might mask.
+func (r *RefLevels) PromoteL0() {
+	if len(r.l0) == 0 && len(r.deep[1]) == 0 {
+		return
+	}
+	merged := make(map[string]refCell)
+	for k, c := range r.deep[1] {
+		merged[k] = c
+	}
+	for i := len(r.l0) - 1; i >= 0; i-- { // oldest first; newer overwrite
+		for k, c := range r.l0[i] {
+			merged[k] = c
+		}
+	}
+	r.l0 = nil
+	r.deep[1] = r.dropShadowedTombstones(merged, 1)
+}
+
+// Promote mirrors the engine's deep-level push: level lv and level lv+1
+// merge into lv+1 (lv's data is newer and wins).
+func (r *RefLevels) Promote(lv int) error {
+	if lv < 1 || lv >= lsm.MaxLevels {
+		return fmt.Errorf("model: promote level %d out of range", lv)
+	}
+	merged := make(map[string]refCell)
+	for k, c := range r.deep[lv+1] {
+		merged[k] = c
+	}
+	for k, c := range r.deep[lv] {
+		merged[k] = c
+	}
+	delete(r.deep, lv)
+	r.deep[lv+1] = r.dropShadowedTombstones(merged, lv+1)
+	return nil
+}
+
+// dropShadowedTombstones elides tombstones from a merged store landing at
+// outLevel when no deeper level remains — the same rule ApplyPlan uses.
+func (r *RefLevels) dropShadowedTombstones(m map[string]refCell, outLevel int) map[string]refCell {
+	deeper := false
+	for lv := outLevel + 1; lv <= lsm.MaxLevels; lv++ {
+		if len(r.deep[lv]) > 0 {
+			deeper = true
+			break
+		}
+	}
+	if deeper {
+		return m
+	}
+	for k, c := range m {
+		if c.tombstone {
+			delete(m, k)
+		}
+	}
+	return m
+}
+
+// Compact implements lsm.Index: the control-plane full merge collapses every
+// level into the deepest occupied one.
+func (r *RefLevels) Compact() error {
+	out := 1
+	for lv := 1; lv <= lsm.MaxLevels; lv++ {
+		if len(r.deep[lv]) > 0 {
+			out = lv
+		}
+	}
+	merged := make(map[string]refCell)
+	for lv := lsm.MaxLevels; lv >= 1; lv-- { // deepest (oldest) first
+		for k, c := range r.deep[lv] {
+			merged[k] = c
+		}
+	}
+	for i := len(r.l0) - 1; i >= 0; i-- {
+		for k, c := range r.l0[i] {
+			merged[k] = c
+		}
+	}
+	r.l0 = nil
+	r.deep = make(map[int]map[string]refCell)
+	for k, c := range merged {
+		if c.tombstone {
+			continue // full merge always drops tombstones (nothing deeper remains)
+		}
+		if r.deep[out] == nil {
+			r.deep[out] = make(map[string]refCell)
+		}
+		r.deep[out][k] = c
+	}
+	return nil
+}
+
+// L0Count returns the number of modeled L0 runs.
+func (r *RefLevels) L0Count() int { return len(r.l0) }
+
+// LevelKeys returns the sorted keys (live or tombstoned) present at a level:
+// 0 aggregates the L0 runs, 1..MaxLevels read the merged stores. It is the
+// structural surface the lockstep test compares against the tree's runs.
+func (r *RefLevels) LevelKeys(lv int) []string {
+	seen := make(map[string]bool)
+	if lv == 0 {
+		for _, run := range r.l0 {
+			for k := range run {
+				seen[k] = true
+			}
+		}
+	} else {
+		for k := range r.deep[lv] {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ lsm.Index = (*RefLevels)(nil)

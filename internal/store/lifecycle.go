@@ -17,6 +17,9 @@ import (
 // CleanShutdown every previously returned dependency reports persistent —
 // the §5 forward-progress property.
 func (s *Store) CleanShutdown() error {
+	// Stop the compaction loop before the scrub loop and before any teardown
+	// flush: a manifest swap mid-shutdown would race the final index flush.
+	s.StopCompact()
 	s.StopScrub()
 	if _, err := s.idx.Shutdown(); err != nil {
 		return fmt.Errorf("store: shutdown index flush: %w", err)
@@ -47,6 +50,7 @@ func (s *Store) CleanShutdown() error {
 // is dead afterwards; call Open on the same disk to recover. The returned
 // page lists describe what survived.
 func (s *Store) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
+	s.StopCompact()
 	s.StopScrub()
 	s.mu.Lock()
 	s.inService = false
@@ -58,6 +62,7 @@ func (s *Store) Crash(rng *rand.Rand) (kept, lost []disk.PageAddr) {
 // CrashKeep is the deterministic crash used by the exhaustive block-level
 // crash-state enumerator (§5).
 func (s *Store) CrashKeep(keep func(disk.PageAddr) bool) (kept, lost []disk.PageAddr) {
+	s.StopCompact()
 	s.StopScrub()
 	s.mu.Lock()
 	s.inService = false

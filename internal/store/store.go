@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"shardstore/internal/chunk"
+	"shardstore/internal/compact"
 	"shardstore/internal/coverage"
 	"shardstore/internal/dep"
 	"shardstore/internal/disk"
@@ -59,6 +60,9 @@ type Config struct {
 	CacheCapacity int
 	// MaxRuns bounds the LSM run list before auto-compaction.
 	MaxRuns int
+	// Compact tunes the leveled-compaction engine; the zero value takes the
+	// engine's defaults (see compact.Policy).
+	Compact compact.Policy
 	// MaxMemEntries auto-flushes the memtable; zero disables.
 	MaxMemEntries int
 	// AutoFlushThreshold auto-flushes the superblock; zero disables.
@@ -137,16 +141,21 @@ type Store struct {
 	obs *obs.Obs
 	met storeMetrics
 
-	d        *disk.Disk
-	sched    *dep.Scheduler
-	em       *extent.Manager
-	cs       *chunk.Store
-	idx      *lsm.Tree
-	scrubber *scrub.Scrubber
+	d         *disk.Disk
+	sched     *dep.Scheduler
+	em        *extent.Manager
+	cs        *chunk.Store
+	idx       *lsm.Tree
+	scrubber  *scrub.Scrubber
+	compactor *compact.Engine
 
 	// scrubStop/scrubDone manage the background scrub loop (StartScrub).
 	scrubStop chan struct{}
 	scrubDone chan struct{}
+	// compactStop/compactDone manage the background compaction loop
+	// (StartCompact).
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	// catalog is the control plane's sorted view of shard ids (bug #13/#16
 	// sites operate on it).
@@ -199,6 +208,7 @@ func Open(d *disk.Disk, cfg Config) (*Store, error) {
 	cs.RegisterResolver(chunk.TagIndexRun, lsm.RunResolver{Tree: idx})
 	cs.RegisterResolver(chunk.TagData, dataResolver{s: s})
 	s.scrubber = scrub.New(scrubHost{s: s}, scrub.Config{Obs: cfg.Obs}, cov, bugs)
+	s.compactor = compact.New(compactHost{s: s}, cfg.Compact, cfg.Obs)
 	keys, err := idx.Keys()
 	if err != nil {
 		return nil, fmt.Errorf("store: catalog rebuild: %w", err)
@@ -408,12 +418,18 @@ func (s *Store) putInner(shardID string, data []byte) (*dep.Dependency, error) {
 	if s.cfg.Replicas > 1 {
 		s.cfg.Coverage.Hit("store.put.replicated")
 	}
-	// The index entry is ordered after the shard data (Fig 2).
+	// The index entry is ordered after the shard data (Fig 2). The entry
+	// write must happen under the store lock: reclamation's relocation path
+	// (dataResolver.RelocateChunk) does a read-modify-write of the same entry
+	// under s.mu, and an entry written between its read and its write would
+	// be silently clobbered with the pre-relocation locators — a lost update
+	// that serves stale shard data.
+	s.mu.Lock()
 	idxDep, err := s.idx.Put(shardID, encodeEntryGroups(groups), dataDep)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	s.mu.Lock()
 	s.catalogInsertLocked(shardID)
 	s.met.shardCount.Set(int64(len(s.catalog)))
 	s.mu.Unlock()
@@ -557,11 +573,15 @@ func (s *Store) deleteInner(shardID string) (*dep.Dependency, error) {
 	if err := s.requireInService(); err != nil {
 		return nil, err
 	}
+	// Under s.mu for the same reason as putInner: a relocation's
+	// read-modify-write of this entry must not straddle the tombstone, or
+	// the relocated entry resurrects the deleted shard.
+	s.mu.Lock()
 	d, err := s.idx.Delete(shardID)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	s.mu.Lock()
 	s.catalogRemoveLocked(shardID)
 	s.met.shardCount.Set(int64(len(s.catalog)))
 	s.mu.Unlock()

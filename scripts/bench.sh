@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Regenerates the committed write-path benchmark snapshot (BENCH_PR6.json):
-# durable-put throughput, p50/p99 put latency, and syncs/op for the
-# lock-step baseline, the group-commit barrier, and the RPC durable-put
-# plane at 1/8/64 concurrent writers. Extra flags are passed through to
-# cmd/benchwrite (e.g. -puts, -flush-us).
+# Regenerates the committed benchmark snapshots:
+#  - BENCH_PR6.json (write path): durable-put throughput, p50/p99 put
+#    latency, and syncs/op for the lock-step baseline, the group-commit
+#    barrier, and the RPC durable-put plane at 1/8/64 concurrent writers.
+#    Extra flags are passed through to cmd/benchwrite (e.g. -puts, -flush-us).
+#  - BENCH_PR7.json (read path): Get p50/p99 and runs-probed-per-Get on a
+#    64-run keyspace before and after the leveled-compaction engine quiesces.
 #
 # Also prints the put-path and RPC pipeline microbenchmarks so a perf
 # regression is visible next to the snapshot diff.
@@ -13,6 +15,9 @@ cd "$(dirname "$0")/.."
 echo "== benchwrite -> BENCH_PR6.json"
 go run ./cmd/benchwrite -out BENCH_PR6.json "$@"
 
+echo "== benchread -> BENCH_PR7.json"
+go run ./cmd/benchread -out BENCH_PR7.json
+
 echo "== put-path microbenchmarks"
 go test -run '^$' -bench 'BenchmarkStorePut$|BenchmarkSoftUpdatesVsWAL' -benchtime=200x .
 
@@ -20,6 +25,6 @@ echo "== rpc benchmarks"
 go test -run '^$' -bench 'BenchmarkRPCPipelined' -benchtime=500x ./internal/rpc/
 
 echo "== snapshot validation"
-go test -run 'TestBenchSnapshotCurrent' -count=1 .
+go test -run 'TestBenchSnapshotCurrent|TestReadBenchSnapshotCurrent' -count=1 .
 
 echo "BENCH OK"

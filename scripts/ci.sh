@@ -50,7 +50,13 @@ go test -run 'TestObservabilityDeterminismGate' -count=1 ./internal/core/
 echo "== group-commit throughput gate (>= 3x puts/sec at 8 writers; skipped under -race by design)"
 go test -timeout 300s -run 'TestGroupCommitThroughputGate' -count=1 -v . | grep -E 'puts/sec|ok  |PASS|FAIL'
 
-echo "== committed benchmark snapshot (BENCH_PR6.json parses and is current)"
-go test -run 'TestBenchSnapshotCurrent' -count=1 .
+echo "== compaction read-amplification gate (64-run keyspace quiesces to <= level budget)"
+go test -run 'TestCompactionReadAmplificationGate' -count=1 -v . | grep -E 'runs/get|ok  |PASS|FAIL'
+
+echo "== compaction-vs-foreground hammer -race (durable steps against puts/gets on real goroutines)"
+go test -race -timeout 300s -run 'TestCompactionForegroundRaceHammer' -count=1 .
+
+echo "== committed benchmark snapshots (BENCH_PR6.json / BENCH_PR7.json parse and are current)"
+go test -run 'TestBenchSnapshotCurrent|TestReadBenchSnapshotCurrent' -count=1 .
 
 echo "CI PASS"

@@ -18,6 +18,9 @@
 //	shardstore -connect 127.0.0.1:7420 list
 //	shardstore -connect 127.0.0.1:7420 stats
 //	shardstore -connect 127.0.0.1:7420 metrics
+//	shardstore -connect 127.0.0.1:7420 -traced put shard-1 "hello"
+//	shardstore -connect 127.0.0.1:7420 trace
+//	shardstore -connect 127.0.0.1:7420 slowlog
 //
 // Check (exit status 1 if a violation is found):
 //
@@ -56,7 +59,10 @@ func main() {
 	maintenance := flag.Duration("maintenance", 250*time.Millisecond, "background maintenance interval")
 	scrubInterval := flag.Duration("scrub-interval", time.Second, "background integrity-scrub step interval (0 disables)")
 	replicas := flag.Int("replicas", 1, "replicas per chunk within each disk (intra-host redundancy)")
-	pprofAddr := flag.String("pprof", "", "serve pprof + JSON /metrics on this address (server mode, opt-in)")
+	pprofAddr := flag.String("pprof", "", "serve pprof + /metrics (JSON; ?format=prom for Prometheus) on this address (server mode, opt-in)")
+	traceCap := flag.Int("trace", 64, "server mode: retain the last N completed request traces (0 disables tracing)")
+	slowThresh := flag.Duration("slow-threshold", 20*time.Millisecond, "server mode: requests at or above this duration land in the slow-op log (0 disables)")
+	traced := flag.Bool("traced", false, "client mode: request server-side tracing for this command's requests (trace-id = request id)")
 	check := flag.Bool("check", false, "run the conformance check against this build and exit")
 	cases := flag.Int("cases", 2000, "check mode: number of random op sequences")
 	ops := flag.Int("ops", 40, "check mode: operations per sequence")
@@ -68,9 +74,9 @@ func main() {
 	case *check:
 		runCheck(*cases, *ops, *seed, *parallel)
 	case *listen != "":
-		runServer(*listen, *disks, *maintenance, *scrubInterval, *replicas, *pprofAddr)
+		runServer(*listen, *disks, *maintenance, *scrubInterval, *replicas, *pprofAddr, *traceCap, *slowThresh)
 	case *connect != "":
-		runClient(*connect, flag.Args())
+		runClient(*connect, *traced, flag.Args())
 	default:
 		fmt.Fprintln(os.Stderr, "need -listen (server), -connect (client), or -check; see -help")
 		os.Exit(2)
@@ -125,11 +131,15 @@ func runCheck(cases, ops int, seed int64, parallel int) {
 	os.Exit(1)
 }
 
-func runServer(addr string, disks int, maintenance, scrubInterval time.Duration, replicas int, pprofAddr string) {
+func runServer(addr string, disks int, maintenance, scrubInterval time.Duration, replicas int, pprofAddr string, traceCap int, slowThresh time.Duration) {
 	// One node-wide registry on the wall clock: every store, disk, cache, and
 	// the rpc layer record into it, so the metrics op (and the optional JSON
-	// /metrics endpoint) see the whole node in one snapshot.
+	// /metrics endpoint) see the whole node in one snapshot. Request-span
+	// tracing attaches here, before stores and server resolve their handles.
 	nodeObs := obs.New(obs.NewWallClock())
+	if traceCap > 0 {
+		nodeObs.WithSpans(traceCap, uint64(slowThresh))
+	}
 	var stores []*store.Store
 	for i := 0; i < disks; i++ {
 		cfg := store.Config{Seed: int64(i + 1), Obs: nodeObs}
@@ -184,6 +194,11 @@ func runServer(addr string, disks int, maintenance, scrubInterval time.Duration,
 		// net/http/pprof registered its handlers on the default mux; add the
 		// metrics snapshot next to them and serve both on the side listener.
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Query().Get("format") == "prom" {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				_, _ = fmt.Fprint(w, obs.FormatPrometheus(nodeObs.Snapshot()))
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
@@ -210,9 +225,9 @@ func runServer(addr string, disks int, maintenance, scrubInterval time.Duration,
 	fmt.Println("shardstore: clean shutdown complete")
 }
 
-func runClient(addr string, args []string) {
+func runClient(addr string, traced bool, args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | mget <id>... | mdel <id>... | list | stats | metrics | flush <disk> | scrub <disk> | scrub-status <disk>")
+		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | mget <id>... | mdel <id>... | list | stats | metrics | trace | slowlog | flush <disk> | scrub <disk> | scrub-status <disk>")
 		os.Exit(2)
 	}
 	// Every RPC call takes a context; bound the whole CLI interaction so a
@@ -226,6 +241,9 @@ func runClient(addr string, args []string) {
 		os.Exit(1)
 	}
 	defer c.Close()
+	// -traced sets the per-request negotiation flag: a tracing-enabled
+	// server records these requests and echoes the flag back.
+	c.SetTracing(traced)
 
 	fail := func(err error) {
 		if err != nil {
@@ -294,6 +312,19 @@ func runClient(addr string, args []string) {
 		snap, err := c.Metrics(ctx)
 		fail(err)
 		fmt.Print(obs.FormatSnapshot(*snap, obs.UnitNanos))
+	case "trace", "slowlog":
+		var d *rpc.TraceDump
+		var err error
+		if args[0] == "trace" {
+			d, err = c.Trace(ctx)
+		} else {
+			d, err = c.SlowLog(ctx)
+		}
+		fail(err)
+		if args[0] == "slowlog" && d.Threshold > 0 {
+			fmt.Printf("slow threshold: %s\n", time.Duration(d.Threshold))
+		}
+		fmt.Print(obs.FormatTraceDump(d.Traces, d.Truncated, obs.UnitNanos))
 	case "flush":
 		var d int
 		if len(args) == 2 {

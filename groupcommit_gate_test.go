@@ -7,16 +7,21 @@ import (
 	"time"
 
 	"shardstore/internal/disk"
+	"shardstore/internal/obs"
 	"shardstore/internal/store"
 )
 
 // gateGeometry is a roomy disk so the gate never stalls on reclamation.
+// The store runs with request-span tracing attached: the throughput gate
+// doubles as proof that tracing's per-request cost does not eat the
+// group-commit win.
 func gateStore(t *testing.T) *store.Store {
 	t.Helper()
 	cfg := store.Config{Seed: 1}
 	cfg.Disk = disk.Config{PageSize: 128, PagesPerExtent: 512, ExtentCount: 64}
 	cfg.MaxMemEntries = 512
 	cfg.AutoFlushThreshold = 256
+	cfg.Obs = obs.New(obs.NewWallClock()).WithSpans(64, uint64(time.Millisecond))
 	st, _, err := store.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +88,10 @@ func TestGroupCommitThroughputGate(t *testing.T) {
 	baseSyncs := base.Disk().Stats().Syncs
 
 	// Group commit: concurrent writers enroll in the shared flush barrier.
+	// Every put is traced end-to-end (span start, barrier stage, finish), so
+	// the 3x floor below is measured with tracing's full per-request cost.
 	gc := gateStore(t)
+	tracer := gc.Obs().Tracer()
 	gcStart := time.Now()
 	for w := 0; w < writers; w++ {
 		w := w
@@ -91,15 +99,18 @@ func TestGroupCommitThroughputGate(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < putsEach; i++ {
-				d, err := gc.Put(fmt.Sprintf("w%d-k%02d", w, i%4), val)
+				key := fmt.Sprintf("w%d-k%02d", w, i%4)
+				sp := tracer.Start(0, "put", key)
+				d, err := gc.Put(key, val)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if err := gc.WaitDurable(d); err != nil {
+				if err := gc.WaitDurableTraced(d, sp); err != nil {
 					t.Error(err)
 					return
 				}
+				sp.Finish()
 				if !d.IsPersistent() {
 					t.Error("WaitDurable returned before persistence")
 					return
@@ -125,6 +136,9 @@ func TestGroupCommitThroughputGate(t *testing.T) {
 
 	if gs.Count == 0 || gs.Max < 2 {
 		t.Fatalf("no commit group larger than one waiter formed: %+v", gs)
+	}
+	if spans := snap.Counters["trace.spans"]; spans != writers*putsEach {
+		t.Fatalf("tracing was not live for the whole gate: %d spans, want %d", spans, writers*putsEach)
 	}
 	if gcSyncs >= baseSyncs {
 		t.Fatalf("group commit used %d syncs, baseline %d: no amortization", gcSyncs, baseSyncs)

@@ -25,6 +25,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/experiments": true,
 	"internal/rpc":         true,
 	"internal/compact":     true,
+	"internal/obs":         true,
 }
 
 // seededConstructors are the math/rand functions that build an explicitly

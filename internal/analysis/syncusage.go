@@ -25,6 +25,7 @@ var instrumentedPkgs = map[string]bool{
 	"internal/buffercache": true,
 	"internal/scrub":       true,
 	"internal/compact":     true,
+	"internal/obs":         true,
 }
 
 // rawSyncNames are the sync package identifiers with vsync replacements.

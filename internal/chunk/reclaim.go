@@ -57,8 +57,13 @@ func (s *Store) Reclaim(victim disk.ExtentID) error {
 	if s.obs.Tracing() {
 		s.obs.Record("chunk", "reclaim_begin", fmt.Sprintf("e%d", victim), "ok", 0)
 	}
+	var bg *obs.BgSpan
+	if tr := s.obs.Tracer(); tr != nil {
+		bg = tr.Background("chunk", fmt.Sprintf("reclaim e%d", victim))
+	}
 
 	finish := func(err error) error {
+		bg.End()
 		s.mu.Lock()
 		delete(s.reclaiming, victim)
 		s.mu.Unlock()

@@ -216,6 +216,14 @@ func (e *Engine) step(durable bool) (bool, error) {
 		e.met.levels.Set(int64(occupiedLevels(view)))
 		return false, nil
 	}
+	// Open a background window over the rewrite (and the manifest commit
+	// below): every request span it overlaps gets a compaction-interference
+	// note, the signal maintenance scheduling will throttle on.
+	var bg *obs.BgSpan
+	if tr := e.obs.Tracer(); tr != nil {
+		bg = tr.Background("compact", fmt.Sprintf("L%d<-%d runs", plan.OutLevel, len(plan.Inputs)))
+	}
+	defer bg.End()
 	res, err := e.host.Compact(plan)
 	if err != nil {
 		return false, fmt.Errorf("compact: apply L%d plan (%d inputs): %w", plan.OutLevel, len(plan.Inputs), err)

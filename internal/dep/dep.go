@@ -335,6 +335,7 @@ type schedMetrics struct {
 	followers   *obs.Counter
 	groupSize   *obs.Histogram
 	barrierWait *obs.Histogram
+	barrierLead *obs.Histogram
 }
 
 func newSchedMetrics(o *obs.Obs) schedMetrics {
@@ -347,6 +348,7 @@ func newSchedMetrics(o *obs.Obs) schedMetrics {
 		followers:   o.Counter("sched.commit_followers"),
 		groupSize:   o.Histogram("sched.group_size"),
 		barrierWait: o.Histogram("sched.barrier_wait"),
+		barrierLead: o.Histogram("sched.barrier_wait_leader"),
 	}
 }
 
@@ -355,8 +357,10 @@ func newSchedMetrics(o *obs.Obs) schedMetrics {
 type Options struct {
 	// Obs receives scheduler metrics: sched.syncs, sched.ios,
 	// sched.coalesced, sched.commits, sched.commit_followers, and the
-	// sched.group_size / sched.barrier_wait histograms. Metering is
-	// count-only and never changes scheduling decisions.
+	// sched.group_size / sched.barrier_wait / sched.barrier_wait_leader
+	// histograms (the latter pair splits barrier time by role: follower
+	// enroll wait vs leader drive+sync time). Metering is count-only and
+	// never changes scheduling decisions.
 	Obs *obs.Obs
 	// Bugs gates seeded faults (FaultGroupCommitTornBarrier).
 	Bugs *faults.Set
@@ -944,6 +948,15 @@ func (s *Scheduler) drive(stop func() bool, syncFn func() error) error {
 // vsync, so shuttle explorations interleave leaders, followers, and crashes
 // deterministically.
 func (s *Scheduler) Commit(d *Dependency, bind func() error) error {
+	return s.CommitTraced(d, bind, nil)
+}
+
+// CommitTraced is Commit with an optional request span: each enrollment
+// period lands on sp as a sched.barrier_wait stage (detail "follower"), and
+// the leader's coalesced sync rounds land as disk.sync_wait stages carrying
+// the group size — the per-request view of where a durable ack's time went.
+// A nil sp meters exactly like Commit; the span never influences scheduling.
+func (s *Scheduler) CommitTraced(d *Dependency, bind func() error, sp *obs.Span) error {
 	if d == nil || d.IsPersistent() {
 		return nil
 	}
@@ -952,6 +965,7 @@ func (s *Scheduler) Commit(d *Dependency, bind func() error) error {
 		s.gmu.Lock()
 		if s.leaderBusy {
 			start := s.met.o.Now()
+			spStart := sp.Now()
 			seq := s.commitSeq
 			s.enrolled++
 			for s.leaderBusy && s.commitSeq == seq {
@@ -959,6 +973,7 @@ func (s *Scheduler) Commit(d *Dependency, bind func() error) error {
 			}
 			s.enrolled--
 			s.gmu.Unlock()
+			sp.Stage(obs.StageBarrierWait, spStart, "follower")
 			if d.IsPersistent() {
 				s.met.followers.Inc()
 				s.met.barrierWait.Observe(s.met.o.Now() - start)
@@ -969,7 +984,9 @@ func (s *Scheduler) Commit(d *Dependency, bind func() error) error {
 		}
 		s.leaderBusy = true
 		s.gmu.Unlock()
-		err := s.commitLead(d, bind)
+		leadStart := s.met.o.Now()
+		err := s.commitLead(d, bind, sp)
+		s.met.barrierLead.Observe(s.met.o.Now() - leadStart)
 		s.gmu.Lock()
 		s.leaderBusy = false
 		s.commitSeq++
@@ -983,9 +1000,10 @@ func (s *Scheduler) Commit(d *Dependency, bind func() error) error {
 // rounds until d is persistent, publishing each completed sync to the
 // barrier so satisfied followers wake without waiting for the leader's own
 // goal.
-func (s *Scheduler) commitLead(d *Dependency, bind func() error) error {
+func (s *Scheduler) commitLead(d *Dependency, bind func() error, sp *obs.Span) error {
 	stop := func() bool { return d.IsPersistent() }
 	syncFn := func() error {
+		spStart := sp.Now()
 		if err := s.commitSyncOutside(); err != nil {
 			return err
 		}
@@ -995,6 +1013,9 @@ func (s *Scheduler) commitLead(d *Dependency, bind func() error) error {
 		s.gcond.Broadcast()
 		s.gmu.Unlock()
 		s.met.groupSize.Observe(uint64(size))
+		if sp != nil {
+			sp.Stage(obs.StageDiskSync, spStart, fmt.Sprintf("leader group=%d", size))
+		}
 		if size > 1 {
 			s.cov.Hit("sched.group_commit")
 		}

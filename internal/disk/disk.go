@@ -396,9 +396,11 @@ func (d *Disk) Sync() error {
 	if TestHookPreSync != nil {
 		TestHookPreSync()
 	}
+	bg := d.obs.Tracer().Background("disk", "sync")
 	start := d.obs.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer bg.End()
 	if d.closed {
 		return ErrClosedDisk
 	}

@@ -51,7 +51,11 @@ type WallClock struct {
 }
 
 // NewWallClock returns a wall clock anchored at the current instant.
-func NewWallClock() *WallClock { return &WallClock{base: time.Now()} }
+func NewWallClock() *WallClock {
+	return &WallClock{base: time.Now()} //shardlint:allow determinism WallClock is the explicit nondeterministic clock; harnesses inject LogicalClock
+}
 
 // Now returns nanoseconds elapsed since the clock was created.
-func (c *WallClock) Now() uint64 { return uint64(time.Since(c.base)) }
+func (c *WallClock) Now() uint64 {
+	return uint64(time.Since(c.base)) //shardlint:allow determinism WallClock is the explicit nondeterministic clock; harnesses inject LogicalClock
+}

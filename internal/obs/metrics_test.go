@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 	"testing"
+
+	"shardstore/internal/vsync"
 )
 
 // TestHistogramBucketBoundaries pins the bucket mapping at the exact powers
@@ -217,24 +219,73 @@ func TestConcurrentObserve(t *testing.T) {
 	r := NewRegistry(nil)
 	h := r.Histogram("lat")
 	c := r.Counter("ops")
-	var wg sync.WaitGroup
 	const workers, per = 8, 2000
+	handles := make([]vsync.Handle, 0, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		w := w
+		handles = append(handles, vsync.Go("observe", func() {
 			for i := 0; i < per; i++ {
 				h.Observe(uint64(w*per + i))
 				c.Inc()
 			}
-		}(w)
+		}))
 	}
-	wg.Wait()
+	for _, hd := range handles {
+		hd.Join()
+	}
 	s := h.Snapshot()
 	if s.Count != workers*per || c.Value() != workers*per {
 		t.Fatalf("lost updates: hist=%d counter=%d", s.Count, c.Value())
 	}
 	if s.Min != 0 || s.Max != workers*per-1 {
 		t.Fatalf("min/max: %d/%d", s.Min, s.Max)
+	}
+}
+
+// TestHistogramExactSumMax: the histogram carries exact — not
+// bucket-approximated — sum, min, and max through the snapshot, the JSON
+// encoding used by the metrics RPC op, a merge, and the rendered table.
+func TestHistogramExactSumMax(t *testing.T) {
+	h := &Histogram{}
+	vals := []uint64{3, 1000, 999, 7, 1}
+	var sum uint64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Sum != sum || s.Min != 1 || s.Max != 1000 || s.Count != 5 {
+		t.Fatalf("snapshot fidelity: %+v (want sum=%d min=1 max=1000 count=5)", s, sum)
+	}
+	if got := s.Mean(); got != float64(sum)/5 {
+		t.Fatalf("mean from exact sum: %v, want %v", got, float64(sum)/5)
+	}
+
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sum != sum || back.Min != 1 || back.Max != 1000 || back.Count != 5 {
+		t.Fatalf("JSON round trip lost fidelity: %+v", back)
+	}
+
+	other := &Histogram{}
+	other.Observe(5000)
+	back.Merge(other.Snapshot())
+	if back.Sum != sum+5000 || back.Min != 1 || back.Max != 5000 || back.Count != 6 {
+		t.Fatalf("merge fidelity: %+v", back)
+	}
+
+	line := FormatHistogram("lat", back, UnitTicks)
+	if !strings.Contains(line, "max=5000") || !strings.Contains(line, "min=1") {
+		t.Fatalf("render lost exact extrema: %q", line)
+	}
+	if !strings.Contains(FormatPrometheus(Snapshot{Histograms: map[string]HistogramSnapshot{"lat": back}}),
+		fmt.Sprintf("shardstore_lat_sum %d\n", sum+5000)) {
+		t.Fatalf("prometheus exposition lost exact sum")
 	}
 }

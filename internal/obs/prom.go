@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatPrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative le-bucketed series with exact _sum and _count. Metric names
+// are prefixed with "shardstore_" and sanitized to the Prometheus charset;
+// output is sorted by name so the exposition is stable for a given snapshot.
+func FormatPrometheus(s Snapshot) string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
+		var cum uint64
+		for i := 0; i < NumBuckets; i++ {
+			n := h.Buckets[i]
+			if n == 0 {
+				continue
+			}
+			cum += n
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", m, BucketUpper(i), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", m, h.Count)
+	}
+	return b.String()
+}
+
+// promName maps a registry metric name ("sched.barrier_wait") onto the
+// Prometheus charset [a-zA-Z0-9_:] under the node's namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("shardstore_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatPrometheusExact pins the full exposition for a small snapshot:
+// sorted sections, sanitized names, cumulative le buckets, exact sum.
+func TestFormatPrometheusExact(t *testing.T) {
+	o := New(nil)
+	o.Counter("ops.put").Add(3)
+	o.Gauge("queue.depth").Add(-2)
+	h := o.Histogram("lat")
+	for _, v := range []uint64{0, 5, 7, 100} {
+		h.Observe(v)
+	}
+	got := FormatPrometheus(o.Snapshot())
+	want := strings.Join([]string{
+		"# TYPE shardstore_ops_put counter",
+		"shardstore_ops_put 3",
+		"# TYPE shardstore_queue_depth gauge",
+		"shardstore_queue_depth -2",
+		"# TYPE shardstore_lat histogram",
+		`shardstore_lat_bucket{le="0"} 1`,
+		`shardstore_lat_bucket{le="7"} 3`,
+		`shardstore_lat_bucket{le="127"} 4`,
+		`shardstore_lat_bucket{le="+Inf"} 4`,
+		"shardstore_lat_sum 112",
+		"shardstore_lat_count 4",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFormatPrometheusStable: rendering the same snapshot twice is
+// byte-identical even though registry maps are unordered.
+func TestFormatPrometheusStable(t *testing.T) {
+	o := New(nil)
+	for _, n := range []string{"z.last", "a.first", "m.middle"} {
+		o.Counter(n).Inc()
+		o.Histogram("h." + n).Observe(9)
+	}
+	s := o.Snapshot()
+	a, b := FormatPrometheus(s), FormatPrometheus(s)
+	if a != b {
+		t.Fatalf("unstable exposition:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "shardstore_a_first") {
+		t.Fatalf("missing sanitized counter:\n%s", a)
+	}
+	ai := strings.Index(a, "shardstore_a_first")
+	zi := strings.Index(a, "shardstore_z_last")
+	if ai > zi {
+		t.Fatalf("counters not sorted:\n%s", a)
+	}
+}
+
+// TestFormatPrometheusEmpty: an untouched registry renders to nothing rather
+// than emitting empty series.
+func TestFormatPrometheusEmpty(t *testing.T) {
+	if got := FormatPrometheus(New(nil).Snapshot()); got != "" {
+		t.Fatalf("empty snapshot rendered %q", got)
+	}
+}
+
+// TestFormatPrometheusEmptyHistogram: a registered-but-never-observed
+// histogram still renders a valid series (just +Inf/sum/count zeros).
+func TestFormatPrometheusEmptyHistogram(t *testing.T) {
+	o := New(nil)
+	o.Histogram("idle")
+	got := FormatPrometheus(o.Snapshot())
+	for _, want := range []string{
+		`shardstore_idle_bucket{le="+Inf"} 0`,
+		"shardstore_idle_sum 0",
+		"shardstore_idle_count 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestPromNameSanitize: the registry's dotted names (and anything stranger)
+// map into the Prometheus charset under the node prefix.
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"sched.barrier_wait": "shardstore_sched_barrier_wait",
+		"disk-0/latency":     "shardstore_disk_0_latency",
+		"weird name%":        "shardstore_weird_name_",
+		"ns:sub":             "shardstore_ns:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -50,7 +50,11 @@ func (e Event) String() string {
 // a truncated trail is never mistaken for a complete one. A nil *Ring
 // discards records. Safe for concurrent use.
 type Ring struct {
-	mu    sync.Mutex
+	// Same waiver rationale as Registry.mu: a behavior-transparent leaf
+	// lock (never held across other sync ops, guarded state never read by
+	// the node), kept raw so ring records don't inflate shuttle's schedule
+	// space on every instrumented-layer operation.
+	mu    sync.Mutex //shardlint:allow syncusage behavior-transparent leaf lock; instrumenting adds only schedule noise
 	buf   []Event
 	total uint64 // events ever recorded
 }
@@ -131,8 +135,9 @@ func (r *Ring) Total() uint64 {
 // a ring meters but does not trace. Components that receive no Obs create a
 // private one so their Stats() snapshots keep working standalone.
 type Obs struct {
-	reg  *Registry
-	ring *Ring
+	reg    *Registry
+	ring   *Ring
+	tracer *Tracer
 }
 
 // New creates an Obs metered against clock (nil clock = deterministic
@@ -149,6 +154,25 @@ func (o *Obs) WithTrace(capacity int) *Obs {
 	}
 	o.ring = NewRing(capacity)
 	return o
+}
+
+// WithSpans attaches a request-span tracer retaining the last capacity
+// completed traces, with a slow-op log gated at slowThreshold clock units
+// (0 disables the slow log), and returns o for chaining. capacity <= 0
+// selects DefaultTraceCap. Attach spans before handing the Obs to components:
+// the RPC server resolves its tracer handle at construction.
+func (o *Obs) WithSpans(capacity int, slowThreshold uint64) *Obs {
+	o.tracer = newTracer(o.reg, capacity, slowThreshold)
+	return o
+}
+
+// Tracer returns the attached request-span tracer, or nil (also for a nil
+// Obs) — and a nil Tracer hands out nil spans, so callers never branch.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
 }
 
 // Metrics returns the registry (nil for a nil Obs).

@@ -41,6 +41,12 @@ type Client struct {
 	err     error // set once the demux loop exits; sticky
 
 	defTimeout atomic.Int64 // SetTimeout shim (nanoseconds)
+
+	// tracing marks every subsequent request frame with flagTraced, asking
+	// the server to trace it end-to-end under the frame's request id. A
+	// server without tracing ignores the bit (and does not echo it), so
+	// enabling this against any peer is safe.
+	tracing atomic.Bool
 }
 
 // Dial connects to a server with the v2 pipelined protocol.
@@ -151,6 +157,7 @@ func (c *Client) demux() {
 		if !ok {
 			continue // abandoned call: discard the late response
 		}
+		call.flags = h.flags // e.g. the server's flagTraced echo
 		p, derr := decodeResp(call.op, payload)
 		if derr != nil {
 			p = respErr(CodeInternal, "decode response: "+derr.Error())
@@ -190,13 +197,18 @@ func (c *Client) pendingCount() int {
 	return len(c.pending)
 }
 
+// SetTracing toggles server-side tracing for subsequent requests from this
+// client (the flagTraced negotiation bit).
+func (c *Client) SetTracing(on bool) { c.tracing.Store(on) }
+
 // Call is one in-flight request: the future returned by the Go* forms.
 type Call struct {
-	c   *Client
-	op  Opcode
-	id  uint64
-	ch  chan *wireResp
-	err error // submit-time failure; Wait returns it
+	c     *Client
+	op    Opcode
+	id    uint64
+	ch    chan *wireResp
+	err   error // submit-time failure; Wait returns it
+	flags uint8 // response frame flags (set by demux before delivery)
 }
 
 // submit encodes and writes one request frame, registering the pending
@@ -223,6 +235,9 @@ func (c *Client) submit(q *wireReq) *Call {
 	var flags uint8
 	if q.durable {
 		flags |= flagDurable
+	}
+	if c.tracing.Load() {
+		flags |= flagTraced
 	}
 	frame, werr := appendFrameV2(nil, q.op, flags, call.id, payload)
 	if werr == nil {
@@ -499,4 +514,31 @@ func (c *Client) Metrics(ctx context.Context) (*obs.Snapshot, error) {
 		return &obs.Snapshot{}, nil
 	}
 	return p.metrics, nil
+}
+
+// Trace returns the server's last completed request traces (oldest-first).
+// Requires the server to run with tracing enabled; otherwise the call fails
+// with ErrUnsupported.
+func (c *Client) Trace(ctx context.Context) (*TraceDump, error) {
+	p, err := c.roundTrip(ctx, &wireReq{op: opTrace})
+	if err != nil {
+		return nil, err
+	}
+	if p.trace == nil {
+		return &TraceDump{}, nil
+	}
+	return p.trace, nil
+}
+
+// SlowLog returns the server's retained slow-request traces: completed
+// requests whose duration met the server's slow threshold.
+func (c *Client) SlowLog(ctx context.Context) (*TraceDump, error) {
+	p, err := c.roundTrip(ctx, &wireReq{op: opSlowLog})
+	if err != nil {
+		return nil, err
+	}
+	if p.trace == nil {
+		return &TraceDump{}, nil
+	}
+	return p.trace, nil
 }

@@ -18,8 +18,16 @@
 //	2       1     opcode     (put=1 get=2 delete=3 list=4 bulk_create=5
 //	                          bulk_remove=6 remove_disk=7 return_disk=8
 //	                          flush=9 stats=10 scrub=11 scrub_status=12
-//	                          metrics=13 mget=14 mput=15 mdelete=16)
-//	3       1     flags      (reserved, 0)
+//	                          metrics=13 mget=14 mput=15 mdelete=16
+//	                          trace=17 slowlog=18)
+//	3       1     flags      bit 0 (0x01): durable — acknowledge the
+//	                          mutation only once persistent (group commit).
+//	                          bit 1 (0x02): traced — trace this request
+//	                          end-to-end under its request id; a server
+//	                          with tracing enabled echoes the bit on the
+//	                          response (the negotiation signal). All other
+//	                          bits are reserved and must be ignored, so new
+//	                          flags stay compatible with older v2 peers.
 //	4       8     request id (big-endian; client-assigned, echoed verbatim)
 //	12      4     payload length (big-endian; <= MaxFrame, enforced on
 //	                          write AND read)

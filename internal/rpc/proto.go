@@ -37,6 +37,12 @@ const (
 	opMGet        Opcode = 14
 	opMPut        Opcode = 15
 	opMDelete     Opcode = 16
+	opTrace       Opcode = 17
+	opSlowLog     Opcode = 18
+
+	// opMax is the highest assigned opcode (per-op metric handles are
+	// resolved for every opcode up to it).
+	opMax = opSlowLog
 )
 
 // opName maps opcodes to the v1 op strings (metric names, traces, errors).
@@ -74,6 +80,10 @@ func opName(op Opcode) string {
 		return "mput"
 	case opMDelete:
 		return "mdelete"
+	case opTrace:
+		return "trace"
+	case opSlowLog:
+		return "slowlog"
 	default:
 		return fmt.Sprintf("op_%d", uint8(op))
 	}
@@ -92,6 +102,13 @@ const (
 // enrolling in the backend's group-commit barrier. Other bits are reserved
 // and ignored.
 const flagDurable uint8 = 0x01
+
+// flagTraced on a request asks the server to trace it end-to-end, using the
+// frame's request id as the trace id (no extra header bytes). A server with
+// tracing enabled echoes the flag on the response so the client learns the
+// negotiation outcome; v1 peers have no flags byte and older v2 peers ignore
+// reserved bits, so the flag is backward-compatible in both directions.
+const flagTraced uint8 = 0x02
 
 // header is one decoded v2 frame header.
 type header struct {

@@ -76,8 +76,35 @@ type (
 	durableWaiter interface {
 		WaitDurable(d *dep.Dependency) error
 	}
+	// tracedDurableWaiter lets a traced request's span follow the wait into
+	// the barrier (follower wait vs leader sync stages). Backends without it
+	// still serve traced requests; the barrier just stays unattributed.
+	tracedDurableWaiter interface {
+		WaitDurableTraced(d *dep.Dependency, sp *obs.Span) error
+	}
 	chunkStatsBackend interface{ Chunks() *chunk.Store }
 )
+
+// TraceDump is the payload of the trace and slowlog ops: the server-side
+// tracer's retained request traces, oldest-first, plus how many earlier
+// traces the ring overwrote.
+type TraceDump struct {
+	Traces    []obs.ReqTrace `json:"traces,omitempty"`
+	Truncated uint64         `json:"truncated,omitempty"`
+	// Threshold is the slow-log gate in server clock units (slowlog only).
+	Threshold uint64 `json:"threshold,omitempty"`
+}
+
+// waitDurableTraced routes a durability wait through the backend's traced
+// variant when the request carries a span and the backend offers one.
+func waitDurableTraced(dw durableWaiter, d *dep.Dependency, sp *obs.Span) error {
+	if sp != nil {
+		if tw, ok := dw.(tracedDurableWaiter); ok {
+			return tw.WaitDurableTraced(d, sp)
+		}
+	}
+	return dw.WaitDurable(d)
+}
 
 // Server hosts one KV backend per disk behind a shared listener, speaking
 // v2 (pipelined binary frames) and v1 (lock-step JSON) per connection.
@@ -91,7 +118,11 @@ type Server struct {
 
 	// obs meters the rpc layer itself. The server runs on the wall clock by
 	// default; per-store registries keep whatever clock they were built with.
-	obs      *obs.Obs
+	obs *obs.Obs
+	// tracer is resolved once at construction (attach WithSpans to the Obs
+	// before building the server); nil means traced-request flags are
+	// ignored and the trace/slowlog ops answer CodeUnsupported.
+	tracer   *obs.Tracer
 	requests *obs.Counter
 	failures *obs.Counter
 	bytesIn  *obs.Counter
@@ -126,6 +157,7 @@ func NewServerKV(kvs []store.KV, o ...*obs.Obs) *Server {
 		kvs:      append([]store.KV(nil), kvs...),
 		conns:    make(map[net.Conn]struct{}),
 		obs:      so,
+		tracer:   so.Tracer(),
 		requests: so.Counter("rpc.requests"),
 		failures: so.Counter("rpc.failures"),
 		bytesIn:  so.Counter("rpc.bytes_in"),
@@ -134,7 +166,7 @@ func NewServerKV(kvs []store.KV, o ...*obs.Obs) *Server {
 		depth:    so.Histogram("rpc.pipeline_depth"),
 		opLat:    make(map[Opcode]*obs.Histogram),
 	}
-	for op := opPut; op <= opMDelete; op++ {
+	for op := opPut; op <= opMax; op++ {
 		s.opLat[op] = so.Histogram("rpc." + opName(op) + "_lat")
 	}
 	return s
@@ -258,7 +290,7 @@ func (s *Server) serveConnV1(conn net.Conn, head []byte) {
 			s.requests.Inc()
 			s.failures.Inc()
 		} else {
-			resp = respToV1(s.dispatch(q))
+			resp = respToV1(s.dispatch(q, nil))
 		}
 		if err := writeFrameV1(conn, resp); err != nil {
 			return
@@ -269,14 +301,20 @@ func (s *Server) serveConnV1(conn net.Conn, head []byte) {
 // outFrame is one response queued for the connection's writer goroutine.
 type outFrame struct {
 	op      Opcode
+	flags   uint8
 	id      uint64
 	payload []byte
+	// sp is the request's span (nil when untraced); the writer records the
+	// reply stage from queued and finishes it after the frame hits the wire.
+	sp     *obs.Span
+	queued uint64
 }
 
 // inFrame is one request queued for the connection's worker pool.
 type inFrame struct {
 	h       header
 	payload []byte
+	sp      *obs.Span
 }
 
 // serveConnV2 runs the pipelined loop: the reader parses frames and hands
@@ -288,11 +326,13 @@ func (s *Server) serveConnV2(conn net.Conn) {
 	go func() {
 		defer close(writerDone)
 		var buf []byte
+		batch := make([]outFrame, 0, connWorkers)
 		for f := range writeCh {
 			// Write-combining: take every response already queued and emit
 			// them as ONE Write. Under pipelined load this collapses up to
 			// connWorkers response syscalls into a single one.
-			buf, _ = appendFrameV2(buf[:0], f.op, 0, f.id, f.payload)
+			batch = append(batch[:0], f)
+			buf, _ = appendFrameV2(buf[:0], f.op, f.flags, f.id, f.payload)
 		drain:
 			for len(buf) < MaxFrame {
 				select {
@@ -300,7 +340,8 @@ func (s *Server) serveConnV2(conn net.Conn) {
 					if !ok {
 						break drain
 					}
-					buf, _ = appendFrameV2(buf, more.op, 0, more.id, more.payload)
+					batch = append(batch, more)
+					buf, _ = appendFrameV2(buf, more.op, more.flags, more.id, more.payload)
 				default:
 					break drain
 				}
@@ -310,10 +351,23 @@ func (s *Server) serveConnV2(conn net.Conn) {
 			if err != nil {
 				// The connection is gone (oversized frames are impossible
 				// here: encodeResp already guards MaxFrame); drain remaining
-				// frames so handlers never block on a dead writer.
-				for range writeCh {
+				// frames so handlers never block on a dead writer, finishing
+				// any spans so they do not linger in the active set.
+				for _, f := range batch {
+					f.sp.Finish()
+				}
+				for f := range writeCh {
+					f.sp.Finish()
 				}
 				return
+			}
+			// The reply stage ends only after the frame is on the wire, so a
+			// stalled writer shows up in the trace, not as unattributed time.
+			for _, f := range batch {
+				if f.sp != nil {
+					f.sp.Stage(obs.StageReply, f.queued, "")
+					f.sp.Finish()
+				}
 			}
 		}
 	}()
@@ -331,17 +385,21 @@ func (s *Server) serveConnV2(conn net.Conn) {
 		go func() {
 			defer workers.Done()
 			for w := range workCh {
+				// The span opened when the reader parsed the frame; time
+				// until a worker picked it up is dispatch-queue wait.
+				w.sp.Stage(obs.StageQueueWait, w.sp.StartTick(), "")
 				var p *wireResp
 				q, err := decodeReq(w.h.op, w.payload)
 				if q != nil {
 					q.durable = w.h.flags&flagDurable != 0
+					w.sp.SetKey(q.key)
 				}
 				if err != nil {
 					p = respErr(CodeBadRequest, err.Error())
 					s.requests.Inc()
 					s.failures.Inc()
 				} else {
-					p = s.dispatch(q)
+					p = s.dispatch(q, w.sp)
 				}
 				body, err := encodeResp(w.h.op, p)
 				if err != nil {
@@ -358,9 +416,16 @@ func (s *Server) serveConnV2(conn net.Conn) {
 				// A send after the writer bailed is safe: the writer drains
 				// the channel before returning, and it only returns once the
 				// connection is dead.
+				var flags uint8
+				if w.sp != nil {
+					// Echo the traced flag so the client knows the server
+					// honored the request (the negotiation signal).
+					flags |= flagTraced
+				}
 				select {
-				case writeCh <- outFrame{op: w.h.op, id: w.h.id, payload: body}:
+				case writeCh <- outFrame{op: w.h.op, flags: flags, id: w.h.id, payload: body, sp: w.sp, queued: w.sp.Now()}:
 				case <-writerDone:
+					w.sp.Finish()
 				}
 				depth.Add(-1)
 				s.inflight.Add(-1)
@@ -377,7 +442,13 @@ func (s *Server) serveConnV2(conn net.Conn) {
 		s.bytesIn.Add(uint64(headerSize + len(payload)))
 		s.depth.Observe(uint64(depth.Add(1)))
 		s.inflight.Add(1)
-		workCh <- inFrame{h: h, payload: payload}
+		var sp *obs.Span
+		if h.flags&flagTraced != 0 && s.tracer != nil {
+			// The frame's request id doubles as the trace id; the op name is
+			// set here, the key once the worker decodes the payload.
+			sp = s.tracer.Start(h.id, opName(h.op), "")
+		}
+		workCh <- inFrame{h: h, payload: payload, sp: sp}
 	}
 	close(workCh)
 	workers.Wait()
@@ -386,14 +457,14 @@ func (s *Server) serveConnV2(conn net.Conn) {
 }
 
 // dispatch runs one request through the shared (protocol-neutral) path,
-// metering it.
-func (s *Server) dispatch(q *wireReq) *wireResp {
+// metering it. sp is the request's span (nil when untraced or over v1).
+func (s *Server) dispatch(q *wireReq, sp *obs.Span) *wireResp {
 	start := s.obs.Now()
 	var p *wireResp
 	if s.isClosed() {
 		p = respErr(CodeShutdown, "server shutting down")
 	} else {
-		p = s.dispatchInner(q)
+		p = s.dispatchInner(q, sp)
 	}
 	s.requests.Inc()
 	if p.code != CodeOK {
@@ -447,7 +518,7 @@ func errResp(err error) *wireResp {
 	return respErr(codeFor(err), err.Error())
 }
 
-func (s *Server) dispatchInner(q *wireReq) *wireResp {
+func (s *Server) dispatchInner(q *wireReq, sp *obs.Span) *wireResp {
 	kv, idx, err := s.kvFor(q)
 	if err != nil {
 		return respErr(CodeBadRequest, err.Error())
@@ -457,7 +528,9 @@ func (s *Server) dispatchInner(q *wireReq) *wireResp {
 		if q.key == "" {
 			return respErr(CodeBadRequest, "missing shard_id")
 		}
+		t0 := sp.Now()
 		d, err := kv.Put(q.key, q.value)
+		sp.Stage("store.put", t0, "")
 		if err != nil {
 			return errResp(err)
 		}
@@ -466,19 +539,24 @@ func (s *Server) dispatchInner(q *wireReq) *wireResp {
 			if !ok {
 				return respErr(CodeUnsupported, "backend cannot wait for durability")
 			}
-			if err := dw.WaitDurable(d); err != nil {
+			if err := waitDurableTraced(dw, d, sp); err != nil {
 				return errResp(err)
 			}
 		}
 		return &wireResp{code: CodeOK}
 	case opGet:
+		t0 := sp.Now()
 		v, err := kv.Get(q.key)
+		sp.Stage("store.get", t0, "")
 		if err != nil {
 			return errResp(err)
 		}
 		return &wireResp{code: CodeOK, value: v}
 	case opDelete:
-		if _, err := kv.Delete(q.key); err != nil {
+		t0 := sp.Now()
+		_, err := kv.Delete(q.key)
+		sp.Stage("store.delete", t0, "")
+		if err != nil {
 			return errResp(err)
 		}
 		return &wireResp{code: CodeOK}
@@ -531,9 +609,9 @@ func (s *Server) dispatchInner(q *wireReq) *wireResp {
 		if len(q.keys) != len(q.values) {
 			return respErr(CodeBadRequest, "shards/values mismatch")
 		}
-		return s.mMutate(q.keys, q.values, true, q.durable)
+		return s.mMutate(q.keys, q.values, true, q.durable, sp)
 	case opMDelete:
-		return s.mMutate(q.keys, nil, false, false)
+		return s.mMutate(q.keys, nil, false, false, nil)
 	case opRemoveDisk:
 		sr, ok := kv.(serviceRemover)
 		if !ok {
@@ -582,6 +660,20 @@ func (s *Server) dispatchInner(q *wireReq) *wireResp {
 		return &wireResp{code: CodeOK, stats: s.stats()}
 	case opMetrics:
 		return &wireResp{code: CodeOK, metrics: s.metrics()}
+	case opTrace:
+		if s.tracer == nil {
+			return respErr(CodeUnsupported, "tracing not enabled on this node")
+		}
+		traces, truncated := s.tracer.Completed()
+		return &wireResp{code: CodeOK, trace: &TraceDump{Traces: traces, Truncated: truncated}}
+	case opSlowLog:
+		if s.tracer == nil {
+			return respErr(CodeUnsupported, "tracing not enabled on this node")
+		}
+		traces, truncated := s.tracer.Slow()
+		return &wireResp{code: CodeOK, trace: &TraceDump{
+			Traces: traces, Truncated: truncated, Threshold: s.tracer.SlowThreshold(),
+		}}
 	default:
 		return respErr(CodeBadRequest, fmt.Sprintf("unknown opcode %d", q.op))
 	}
@@ -623,12 +715,12 @@ func (s *Server) mGet(keys []string) *wireResp {
 }
 
 // mMutate implements mput (put=true) and mdelete with per-item outcomes.
-func (s *Server) mMutate(keys []string, values [][]byte, put bool, durable bool) *wireResp {
+func (s *Server) mMutate(keys []string, values [][]byte, put bool, durable bool, sp *obs.Span) *wireResp {
 	p := &wireResp{code: CodeOK, itemCodes: make([]Code, len(keys))}
 	for disk, idxs := range s.groupBySteer(keys) {
 		kv := disk.kv
 		if durable {
-			mMutateDurableGroup(kv, keys, values, idxs, p)
+			mMutateDurableGroup(kv, keys, values, idxs, p, sp)
 			continue
 		}
 		bkv, batched := kv.(store.BatchKV)
@@ -670,7 +762,7 @@ func (s *Server) mMutate(keys []string, values [][]byte, put bool, durable bool)
 // the whole per-disk group — one leader-driven flush regardless of batch
 // size. Item outcomes land at fixed indices of p.itemCodes, so the caller's
 // map-iteration order over groups never becomes observable.
-func mMutateDurableGroup(kv store.KV, keys []string, values [][]byte, idxs []int, p *wireResp) {
+func mMutateDurableGroup(kv store.KV, keys []string, values [][]byte, idxs []int, p *wireResp, sp *obs.Span) {
 	dw, ok := kv.(durableWaiter)
 	if !ok {
 		for _, i := range idxs {
@@ -689,7 +781,7 @@ func mMutateDurableGroup(kv store.KV, keys []string, values [][]byte, idxs []int
 		}
 	}
 	if len(deps) > 0 {
-		if err := dw.WaitDurable(dep.All(deps...)); err != nil {
+		if err := waitDurableTraced(dw, dep.All(deps...), sp); err != nil {
 			for _, i := range okIdx {
 				p.itemCodes[i] = codeFor(err)
 			}

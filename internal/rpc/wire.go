@@ -34,6 +34,7 @@ type wireResp struct {
 	stats     *Stats       // stats
 	scrub     *ScrubStatus // scrub, scrub_status
 	metrics   *obs.Snapshot
+	trace     *TraceDump // trace, slowlog
 }
 
 func respErr(code Code, msg string) *wireResp { return &wireResp{code: code, msg: msg} }
@@ -47,7 +48,7 @@ func encodeReq(q *wireReq) ([]byte, error) {
 		w.b = append(w.b, q.value...) // raw tail: no length, no base64
 	case opGet, opDelete:
 		w.str(q.key)
-	case opList, opStats, opMetrics:
+	case opList, opStats, opMetrics, opTrace, opSlowLog:
 		// empty payload
 	case opRemoveDisk, opReturnDisk, opFlush, opScrub, opScrubStatus:
 		w.u32(uint32(q.disk))
@@ -86,7 +87,7 @@ func decodeReq(op Opcode, payload []byte) (*wireReq, error) {
 		if q.key, err = r.str(); err != nil {
 			return nil, err
 		}
-	case opList, opStats, opMetrics:
+	case opList, opStats, opMetrics, opTrace, opSlowLog:
 	case opRemoveDisk, opReturnDisk, opFlush, opScrub, opScrubStatus:
 		d, err := r.u32()
 		if err != nil {
@@ -167,6 +168,8 @@ func encodeResp(op Opcode, p *wireResp) ([]byte, error) {
 		return appendJSON(w, p.scrub)
 	case opMetrics:
 		return appendJSON(w, p.metrics)
+	case opTrace, opSlowLog:
+		return appendJSON(w, p.trace)
 	}
 	return w.b, nil
 }
@@ -254,6 +257,11 @@ func decodeResp(op Opcode, payload []byte) (*wireResp, error) {
 	case opMetrics:
 		p.metrics = &obs.Snapshot{}
 		if err := decodeJSON(&r, p.metrics); err != nil {
+			return nil, err
+		}
+	case opTrace, opSlowLog:
+		p.trace = &TraceDump{}
+		if err := decodeJSON(&r, p.trace); err != nil {
 			return nil, err
 		}
 	}

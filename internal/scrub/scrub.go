@@ -198,6 +198,8 @@ func (s *Scrubber) LostKeys() []string {
 
 // Round runs one full verification pass over every live shard.
 func (s *Scrubber) Round() (Result, error) {
+	bg := s.obs.Tracer().Background("scrub", "round")
+	defer bg.End()
 	start := s.obs.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -223,6 +225,8 @@ func (s *Scrubber) Round() (Result, error) {
 // resuming from where the previous Step stopped. wrapped reports that the
 // pass completed the key space (counting as a finished round).
 func (s *Scrubber) Step() (res Result, wrapped bool, err error) {
+	bg := s.obs.Tracer().Background("scrub", "step")
+	defer bg.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys, err := s.host.LiveKeys()

@@ -672,13 +672,21 @@ func (s *Store) Pump() error {
 // record, which binds the staged futures of every waiter enrolled from the
 // same generation.
 func (s *Store) WaitDurable(d *dep.Dependency) error {
-	return s.sched.Commit(d, func() error {
+	return s.WaitDurableTraced(d, nil)
+}
+
+// WaitDurableTraced is WaitDurable with an optional request span: the
+// caller's barrier role — follower enroll waits vs the leader's coalesced
+// sync rounds (with group size) — lands on sp as stages. A nil sp behaves
+// exactly like WaitDurable; the span never changes scheduling.
+func (s *Store) WaitDurableTraced(d *dep.Dependency, sp *obs.Span) error {
+	return s.sched.CommitTraced(d, func() error {
 		if _, err := s.idx.Flush(); err != nil {
 			return err
 		}
 		_, err := s.em.Flush()
 		return err
-	})
+	}, sp)
 }
 
 // DrainCache empties the buffer cache (a harness op for reaching the

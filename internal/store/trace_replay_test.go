@@ -1,0 +1,62 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"shardstore/internal/faults"
+	"shardstore/internal/obs"
+)
+
+// TestWaitDurableTracedReplay: under the logical clock, an identical durable
+// put renders a byte-identical trace across fresh runs — the replay property
+// the determinism gate depends on — and carries the group-commit leader's
+// attribution through the store/scheduler seam.
+func TestWaitDurableTracedReplay(t *testing.T) {
+	run := func() string {
+		o := obs.New(nil).WithSpans(8, 0)
+		st, _, err := New(Config{Seed: 1, Bugs: faults.NewSet(), Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := o.Tracer().Start(7, "put", "shard-1")
+		d, err := st.Put("shard-1", []byte("durable"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.WaitDurableTraced(d, sp); err != nil {
+			t.Fatal(err)
+		}
+		sp.Finish()
+		traces, trunc := o.Tracer().Completed()
+		return obs.FormatTraceDump(traces, trunc, obs.UnitTicks)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("traced durable put replay diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, obs.StageDiskSync) || !strings.Contains(a, "leader group=1") {
+		t.Fatalf("trace missing leader sync attribution:\n%s", a)
+	}
+}
+
+// TestWaitDurableTracedNilSpan: the traced entry point with a nil span is
+// exactly WaitDurable — the untraced path records nothing and reads no clock
+// through span code.
+func TestWaitDurableTracedNilSpan(t *testing.T) {
+	o := obs.New(nil).WithSpans(8, 0)
+	st, _, err := New(Config{Seed: 1, Bugs: faults.NewSet(), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.Put("shard-1", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitDurableTraced(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if traces, _ := o.Tracer().Completed(); len(traces) != 0 {
+		t.Fatalf("nil-span durable wait produced traces: %+v", traces)
+	}
+}

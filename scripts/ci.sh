@@ -47,6 +47,9 @@ go test -timeout 300s -run 'TestPipelineThroughputGain' -count=1 -v ./internal/r
 echo "== observability determinism gate (obs on/off: same verdicts, same disk bytes)"
 go test -run 'TestObservabilityDeterminismGate' -count=1 ./internal/core/
 
+echo "== trace determinism gate (spans on/off: same verdicts, same disk bytes)"
+go test -run 'TestTraceDeterminismGate' -count=1 ./internal/core/
+
 echo "== group-commit throughput gate (>= 3x puts/sec at 8 writers; skipped under -race by design)"
 go test -timeout 300s -run 'TestGroupCommitThroughputGate' -count=1 -v . | grep -E 'puts/sec|ok  |PASS|FAIL'
 

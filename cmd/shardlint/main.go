@@ -4,28 +4,55 @@
 // Usage:
 //
 //	go run ./cmd/shardlint ./...
+//	go run ./cmd/shardlint -json ./...
+//	go run ./cmd/shardlint -waivers ./...
 //
-// The passes enforce the validation stack's soundness side-conditions:
-// syncusage (vsync instrumentation completeness in model-checked packages),
-// determinism (no wall clock / global math/rand on replayed paths), mapiter
-// (map iteration order must not leak into harness-visible state), and
-// droppederr (no discarded disk/extent/chunk IO errors). Findings are
-// acknowledged in place with `//shardlint:allow <pass> <reason>`.
+// The per-file passes enforce the validation stack's soundness
+// side-conditions: syncusage (vsync instrumentation completeness in
+// model-checked packages), determinism (no wall clock / global math/rand on
+// replayed paths), mapiter (map iteration order must not leak into
+// harness-visible state), and droppederr (no discarded disk/extent/chunk IO
+// errors). The flow-aware passes check lock discipline and instrumentation
+// completeness over the module call graph: lockorder (acquisition-order
+// cycles; locks held across blocking operations), unlockpath (every
+// acquired lock released on all return/panic paths), stagevocab (span stage
+// names match the documented obs vocabulary), and obscomplete (every RPC v2
+// opcode has name, dispatch, and histogram coverage).
+//
+// Findings are acknowledged in place with `//shardlint:allow <pass>
+// <reason>`; -waivers prints the full justified inventory in the line
+// format committed to lint_waivers.txt, which scripts/ci.sh diffs so the
+// waiver set cannot grow without review. -json emits findings as a JSON
+// array for tooling; -v reports per-pass wall time to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"shardstore/internal/analysis"
 )
 
+// jsonDiag is the machine-readable rendering of one finding.
+type jsonDiag struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
 func main() {
 	listPasses := flag.Bool("passes", false, "list the pass suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	waivers := flag.Bool("waivers", false, "print the justified-waiver inventory (lint_waivers.txt format) and exit")
+	verbose := flag.Bool("v", false, "report per-pass wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shardlint [-passes] [packages]\n\npackages default to ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: shardlint [-passes] [-json] [-waivers] [-v] [packages]\n\npackages default to ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,16 +75,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shardlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags := analysis.RunPasses(units, passes)
+
+	if *waivers {
+		for _, w := range analysis.Waivers(units, passes) {
+			fmt.Println(w)
+		}
+		return
+	}
+
+	diags, timings := analysis.RunPassesTimed(units, passes)
+	if *verbose {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "shardlint: pass %-12s %s\n", tm.Name, tm.Elapsed.Round(10*time.Microsecond))
+		}
+	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		pos := d.Pos
+	rel := func(filename string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
-				pos.Filename = rel
+			if r, err := filepath.Rel(cwd, filename); err == nil && !filepath.IsAbs(r) {
+				return r
 			}
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, d.Pass, d.Message)
+		return filename
+	}
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Pass:    d.Pass,
+				File:    rel(d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "shardlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = rel(pos.Filename)
+			fmt.Printf("%s: [%s] %s\n", pos, d.Pass, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "shardlint: %d finding(s)\n", len(diags))

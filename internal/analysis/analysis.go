@@ -18,10 +18,39 @@
 //     iteration order leak into slices, output, or channels.
 //   - droppederr: disk/extent/chunk IO errors must never be discarded.
 //
+// On top of the per-unit walks sits a flow-aware engine (callgraph.go,
+// flow.go): a static call graph over the whole module with per-function
+// effect summaries, and an intraprocedural, defer-aware lock-state walker.
+// Four passes use it:
+//
+//   - lockorder: derives the vsync lock-acquisition order across the
+//     durable-path packages, flags order cycles, and flags any path that
+//     holds a lock across disk.Sync, a channel operation, or a barrier
+//     wait (directly or through any statically reachable callee).
+//   - unlockpath: every lock a function acquires is released on every
+//     return and panic path, with defer (including deferred closures)
+//     honored; double acquisitions and read/write mode mismatches are
+//     flagged too.
+//   - stagevocab: span stage names at call sites form exactly the
+//     vocabulary internal/obs documents, and literal metric names are
+//     well-formed and never registered under two metric kinds.
+//   - obscomplete: every RPC v2 opcode has an opName entry, a dispatch
+//     case, and (via the opPut..opMax registration loop) a latency
+//     histogram — so adding an opcode without bumping opMax is a finding.
+//
+// The call graph resolves direct calls through go/types and approximates
+// dynamic dispatch by resolving an interface method to every module type
+// that implements the interface. Calls into internal/vsync and
+// internal/shuttle are not traversed: that layer is the modeled runtime,
+// and its internal channel use implements scheduling rather than program
+// communication. Function values passed as arguments are not chased; func
+// literals are analyzed as their own nodes with an empty entry lock state.
+//
 // The driver is built on go/parser, go/ast, and go/types with the stdlib
 // source importer — no golang.org/x/tools dependency — so it runs anywhere
 // the toolchain does. Findings are position-accurate diagnostics; the
-// cmd/shardlint CLI exits nonzero on any finding.
+// cmd/shardlint CLI exits nonzero on any finding. All passes share one
+// type-checked load, and the module passes share one call graph.
 //
 // # Suppressions
 //
@@ -31,8 +60,10 @@
 //
 // either trailing the flagged line or on the line directly above it. The
 // reason is mandatory: an annotation without one (or naming an unknown
-// pass) is itself a diagnostic, so suppressions stay auditable — `grep -rn
-// "//shardlint:allow"` lists every waived finding with its justification.
+// pass) is itself a diagnostic, so suppressions stay auditable —
+// `shardlint -waivers` prints the full inventory with justifications, and
+// scripts/ci.sh diffs that inventory against the committed
+// lint_waivers.txt so the waiver set cannot grow silently.
 package analysis
 
 import (
@@ -40,6 +71,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding from one pass at one source position.
@@ -53,7 +85,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
 }
 
-// Pass is a named check over a single type-checked unit.
+// Pass is a named check: per-unit (Run) or module-wide over the shared
+// call graph (RunModule). Exactly one of the two is set.
 type Pass struct {
 	// Name identifies the pass in diagnostics and suppression comments.
 	Name string
@@ -62,11 +95,25 @@ type Pass struct {
 	// Run reports the pass's findings for u. Suppression filtering is the
 	// driver's job; Run reports everything it sees.
 	Run func(u *Unit) []Diagnostic
+	// RunModule reports the pass's findings over the whole loaded module.
+	// The Program (units + call graph + summaries) is built once by the
+	// driver and shared by every module pass.
+	RunModule func(p *Program) []Diagnostic
 }
 
 // AllPasses returns the repo's pass suite in reporting order.
 func AllPasses() []*Pass {
-	return []*Pass{SyncUsage, Determinism, MapIter, DroppedErr}
+	return []*Pass{
+		SyncUsage, Determinism, MapIter, DroppedErr,
+		LockOrder, UnlockPath, StageVocab, ObsComplete,
+	}
+}
+
+// PassTiming is one pass's wall-clock cost from a timed run, for the CLI's
+// -v output (keeping the CI leg's cost visible as passes accrete).
+type PassTiming struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // RunPasses runs every pass over every unit, applies //shardlint:allow
@@ -74,19 +121,41 @@ func AllPasses() []*Pass {
 // Malformed suppression comments are reported as diagnostics of the
 // pseudo-pass "shardlint" and cannot themselves be suppressed.
 func RunPasses(units []*Unit, passes []*Pass) []Diagnostic {
+	diags, _ := RunPassesTimed(units, passes)
+	return diags
+}
+
+// RunPassesTimed is RunPasses plus per-pass wall-clock timings (the call
+// graph build is attributed to the first module pass that forces it).
+func RunPassesTimed(units []*Unit, passes []*Pass) ([]Diagnostic, []PassTiming) {
 	known := make(map[string]bool, len(passes))
 	for _, p := range passes {
 		known[p.Name] = true
 	}
-	allows, diags := collectAllows(units, known)
-	for _, u := range units {
-		for _, p := range passes {
-			for _, d := range p.Run(u) {
-				if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Pass}] {
-					continue
-				}
-				diags = append(diags, d)
+	waivers, diags := collectAllows(units, known)
+	allows := make(map[allowKey]bool, 2*len(waivers))
+	for _, w := range waivers {
+		allows[allowKey{w.Pos.Filename, w.Pos.Line, w.Pass}] = true
+		allows[allowKey{w.Pos.Filename, w.Pos.Line + 1, w.Pass}] = true
+	}
+	prog := NewProgram(units)
+	timings := make([]PassTiming, 0, len(passes))
+	for _, p := range passes {
+		start := time.Now()
+		var found []Diagnostic
+		if p.RunModule != nil {
+			found = p.RunModule(prog)
+		} else {
+			for _, u := range units {
+				found = append(found, p.Run(u)...)
 			}
+		}
+		timings = append(timings, PassTiming{Name: p.Name, Elapsed: time.Since(start)})
+		for _, d := range found {
+			if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Pass}] {
+				continue
+			}
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -102,7 +171,7 @@ func RunPasses(units []*Unit, passes []*Pass) []Diagnostic {
 		}
 		return a.Pass < b.Pass
 	})
-	return diags
+	return diags, timings
 }
 
 // allowPrefix is the suppression marker. Kept as a single grep-able token:
@@ -115,13 +184,46 @@ type allowKey struct {
 	pass string
 }
 
+// Waiver is one well-formed //shardlint:allow annotation: the pass it
+// suppresses, where it sits, and the mandatory justification.
+type Waiver struct {
+	Pass string
+	// Pos is the annotation's position. File is the module-relative
+	// rendering of Pos.Filename used by the committed inventory, so the
+	// file's content is host-path independent.
+	Pos    token.Position
+	File   string
+	Reason string
+}
+
+// String renders the inventory line format committed to lint_waivers.txt:
+// pass, module-relative file:line, reason.
+func (w Waiver) String() string {
+	return fmt.Sprintf("%s %s:%d %s", w.Pass, w.File, w.Pos.Line, w.Reason)
+}
+
+// Waivers returns every well-formed suppression annotation in units, sorted
+// by file then line — the full justified-waiver inventory that replaces the
+// old `grep -rn "//shardlint:allow"` workflow. Pass names are validated
+// against passes; malformed annotations are not waivers (they are
+// diagnostics) and are omitted here.
+func Waivers(units []*Unit, passes []*Pass) []Waiver {
+	known := make(map[string]bool, len(passes))
+	for _, p := range passes {
+		known[p.Name] = true
+	}
+	ws, _ := collectAllows(units, known)
+	return ws
+}
+
 // collectAllows scans every file's comments for suppression annotations. A
 // well-formed annotation covers its own line and the line directly below it
-// (so it works both trailing the flagged statement and standalone above it).
+// (so it works both trailing the flagged statement and standalone above
+// it); RunPassesTimed derives the allow set from the returned inventory.
 // Annotations missing a reason or naming an unknown pass are returned as
 // diagnostics.
-func collectAllows(units []*Unit, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
-	allows := make(map[allowKey]bool)
+func collectAllows(units []*Unit, known map[string]bool) ([]Waiver, []Diagnostic) {
+	var waivers []Waiver
 	var bad []Diagnostic
 	for _, u := range units {
 		for _, f := range u.Files {
@@ -151,11 +253,41 @@ func collectAllows(units []*Unit, known map[string]bool) (map[allowKey]bool, []D
 						})
 						continue
 					}
-					allows[allowKey{pos.Filename, pos.Line, pass}] = true
-					allows[allowKey{pos.Filename, pos.Line + 1, pass}] = true
+					waivers = append(waivers, Waiver{
+						Pass:   pass,
+						Pos:    pos,
+						File:   moduleRelFile(u, pos.Filename),
+						Reason: strings.Join(fields[1:], " "),
+					})
 				}
 			}
 		}
 	}
-	return allows, bad
+	sort.Slice(waivers, func(i, j int) bool {
+		a, b := waivers[i], waivers[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pass < b.Pass
+	})
+	return waivers, bad
+}
+
+// moduleRelFile renders filename relative to the module root using the
+// unit's import path, so inventory lines are stable across checkouts (and
+// across in-memory overlay fixtures, whose files have no real directory).
+func moduleRelFile(u *Unit, filename string) string {
+	base := filename
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	dir := strings.TrimPrefix(u.Path, u.ModulePath)
+	dir = strings.TrimPrefix(dir, "/")
+	if dir == "" {
+		return base
+	}
+	return dir + "/" + base
 }

@@ -1,0 +1,731 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the flow-aware engine the lockorder/unlockpath/stagevocab/
+// obscomplete passes run on: a static call graph over the whole module
+// (direct calls resolved through go/types, dynamic dispatch approximated by
+// resolving an interface method to every module type that implements the
+// interface), plus per-function effect summaries ("acquires which vsync
+// lock", "calls disk.Sync", "performs a channel op", "waits on a cond",
+// "reads the clock") closed transitively over the graph. Function values
+// and closures passed as arguments are NOT chased (a deliberate
+// under-approximation, documented in the package comment); func literals
+// are analyzed as their own anonymous nodes instead.
+
+// Program is the module-wide view shared by every flow-aware pass: the
+// type-checked units plus the lazily built call graph and summaries, so one
+// type-checked load (and one graph) serves all passes.
+type Program struct {
+	Units      []*Unit
+	ModulePath string
+
+	built bool
+	// funcs maps every function/method declared in a loaded unit to its
+	// node. Func literals get anonymous nodes in lits.
+	funcs map[*types.Func]*FuncInfo
+	lits  []*FuncInfo
+	// order lists decl-backed nodes sorted by position for deterministic
+	// iteration.
+	order []*FuncInfo
+	// condLocks maps a cond's type-level key to the lock key it was built
+	// over (via vsync.NewCond(&lock) assignments seen anywhere).
+	condLocks map[string]string
+	// namedTypes is every named (non-interface) type declared in a loaded
+	// unit, for method-set resolution of dynamic calls.
+	namedTypes []*types.Named
+	// chaCache memoizes interface-method resolutions.
+	chaCache map[*types.Func][]*types.Func
+}
+
+// NewProgram wraps units; the call graph is built on first use so unit-only
+// pass suites pay nothing.
+func NewProgram(units []*Unit) *Program {
+	mp := ""
+	if len(units) > 0 {
+		mp = units[0].ModulePath
+	}
+	return &Program{Units: units, ModulePath: mp}
+}
+
+// FuncInfo is one call-graph node: a declared function/method, or an
+// anonymous func literal.
+type FuncInfo struct {
+	Obj  *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Unit *Unit
+	Name string // diagnostic display name
+
+	// Calls are the resolved static call sites in this function's body
+	// (nested literals excluded — they are their own nodes).
+	Calls []CallSite
+
+	// Direct are the effects of this body alone; Closed adds everything
+	// reachable through Calls.
+	Direct EffectSummary
+	Closed EffectSummary
+}
+
+// Body returns the function's body block (decl or literal).
+func (fi *FuncInfo) Body() *ast.BlockStmt {
+	if fi.Decl != nil {
+		return fi.Decl.Body
+	}
+	if fi.Lit != nil {
+		return fi.Lit.Body
+	}
+	return nil
+}
+
+// CallSite is one call expression with its resolved callees (more than one
+// for a dynamically dispatched interface method).
+type CallSite struct {
+	Pos     token.Pos
+	Callees []*types.Func
+	Dynamic bool
+}
+
+// EffectSummary is what a function may do, as far as the engine can see.
+type EffectSummary struct {
+	// Acquires maps each vsync lock (type-level key) the function may
+	// acquire to a representative position.
+	Acquires map[string]token.Pos
+	// MaySync: may call (*disk.Disk).Sync — a blocking device flush.
+	MaySync bool
+	SyncVia string // call-path hint for diagnostics
+	// MayChanOp: may perform a channel send/receive/select.
+	MayChanOp bool
+	ChanVia   string
+	// CondWaits maps each cond (type-level key) the function may Wait on to
+	// a call-path hint. Cond.Wait releases the cond's own lock, so callers
+	// holding exactly that lock are fine; the identity matters.
+	CondWaits map[string]string
+	// MayWriteDisk: may call (*disk.Disk).WriteAt.
+	MayWriteDisk bool
+	// MayReadClock: may read a clock (time.Now/Since or obs Clock.Now).
+	MayReadClock bool
+}
+
+func (e *EffectSummary) acquire(key string, pos token.Pos) {
+	if e.Acquires == nil {
+		e.Acquires = make(map[string]token.Pos)
+	}
+	if _, ok := e.Acquires[key]; !ok {
+		e.Acquires[key] = pos
+	}
+}
+
+func (e *EffectSummary) condWait(condKey, via string) {
+	if e.CondWaits == nil {
+		e.CondWaits = make(map[string]string)
+	}
+	if _, ok := e.CondWaits[condKey]; !ok {
+		e.CondWaits[condKey] = via
+	}
+}
+
+// merge folds callee effects (with its display name for the via hints) into
+// e, reporting whether anything changed.
+func (e *EffectSummary) merge(from *EffectSummary, via string) bool {
+	changed := false
+	for k, pos := range from.Acquires {
+		if _, ok := e.Acquires[k]; !ok {
+			e.acquire(k, pos)
+			changed = true
+		}
+	}
+	if from.MaySync && !e.MaySync {
+		e.MaySync, e.SyncVia, changed = true, viaHint(from.SyncVia, via), true
+	}
+	if from.MayChanOp && !e.MayChanOp {
+		e.MayChanOp, e.ChanVia, changed = true, viaHint(from.ChanVia, via), true
+	}
+	for condKey, inner := range from.CondWaits {
+		if _, ok := e.CondWaits[condKey]; !ok {
+			e.condWait(condKey, viaHint(inner, via))
+			changed = true
+		}
+	}
+	if from.MayWriteDisk && !e.MayWriteDisk {
+		e.MayWriteDisk, changed = true, true
+	}
+	if from.MayReadClock && !e.MayReadClock {
+		e.MayReadClock, changed = true, true
+	}
+	return changed
+}
+
+func viaHint(inner, via string) string {
+	if inner == "" {
+		return via
+	}
+	if via == "" {
+		return inner
+	}
+	return via + " -> " + inner
+}
+
+// build constructs the call graph and summaries once.
+func (p *Program) build() {
+	if p.built {
+		return
+	}
+	p.built = true
+	p.funcs = make(map[*types.Func]*FuncInfo)
+	p.condLocks = make(map[string]string)
+	p.chaCache = make(map[*types.Func][]*types.Func)
+
+	// Named types for dynamic dispatch, deterministically ordered.
+	for _, u := range p.Units {
+		scope := u.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				if _, isIface := named.Underlying().(*types.Interface); !isIface {
+					p.namedTypes = append(p.namedTypes, named)
+				}
+			}
+		}
+	}
+	sort.Slice(p.namedTypes, func(i, j int) bool {
+		a, b := p.namedTypes[i].Obj(), p.namedTypes[j].Obj()
+		if a.Pkg().Path() != b.Pkg().Path() {
+			return a.Pkg().Path() < b.Pkg().Path()
+		}
+		return a.Name() < b.Name()
+	})
+
+	// Nodes for every declared function/method.
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Unit: u, Name: funcDisplayName(u, obj)}
+				p.funcs[obj] = fi
+				p.order = append(p.order, fi)
+			}
+		}
+	}
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i].Decl.Pos() < p.order[j].Decl.Pos() })
+
+	// Body scans: direct effects, call sites, cond->lock bindings, and
+	// anonymous nodes for func literals.
+	for _, fi := range p.order {
+		p.scanBody(fi, fi.Decl.Body)
+	}
+
+	// Close effects over the graph (literal nodes stay direct-only: their
+	// bodies run wherever the value flows, which the engine does not chase).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range p.order {
+			for _, cs := range fi.Calls {
+				for _, callee := range cs.Callees {
+					cf := p.funcs[callee]
+					if cf == nil || cf == fi {
+						continue
+					}
+					if fi.Closed.merge(&cf.Closed, cf.Name) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanBody fills fi's direct summary and call sites from body, creating
+// anonymous nodes for nested func literals (whose own bodies are skipped
+// here and scanned as separate nodes).
+func (p *Program) scanBody(fi *FuncInfo, body *ast.BlockStmt) {
+	u := fi.Unit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &FuncInfo{Lit: n, Unit: u, Name: fi.Name + " (func literal)"}
+			p.lits = append(p.lits, lit)
+			p.scanBody(lit, n.Body)
+			return false // literal body is its own node
+		case *ast.SendStmt:
+			if !fi.Direct.MayChanOp {
+				fi.Direct.MayChanOp = true
+			}
+		case *ast.SelectStmt:
+			fi.Direct.MayChanOp = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fi.Direct.MayChanOp = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := u.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					fi.Direct.MayChanOp = true
+				}
+			}
+		case *ast.AssignStmt:
+			p.recordCondBinding(u, n)
+		case *ast.CallExpr:
+			p.scanCall(fi, n)
+		}
+		return true
+	})
+	fi.Closed = EffectSummary{
+		MaySync: fi.Direct.MaySync, SyncVia: fi.Direct.SyncVia,
+		MayChanOp: fi.Direct.MayChanOp, ChanVia: fi.Direct.ChanVia,
+		MayWriteDisk: fi.Direct.MayWriteDisk,
+		MayReadClock: fi.Direct.MayReadClock,
+	}
+	for k, pos := range fi.Direct.Acquires {
+		fi.Closed.acquire(k, pos)
+	}
+	for k, via := range fi.Direct.CondWaits {
+		fi.Closed.condWait(k, via)
+	}
+}
+
+// scanCall classifies one call expression into the direct summary and the
+// call-site list.
+func (p *Program) scanCall(fi *FuncInfo, call *ast.CallExpr) {
+	u := fi.Unit
+	if op, ref := vsyncLockOp(u, call); op != lockOpNone {
+		switch op {
+		case lockOpLock, lockOpRLock, lockOpTryLock:
+			fi.Direct.acquire(ref.Type, call.Pos())
+		case lockOpCondWait:
+			fi.Direct.condWait(ref.Type, "")
+		}
+		return
+	}
+	callee := staticCallee(u, call)
+	if callee == nil {
+		return
+	}
+	if isDiskMethod(p.ModulePath, callee, "Sync") {
+		fi.Direct.MaySync = true
+		return
+	}
+	if isDiskMethod(p.ModulePath, callee, "WriteAt") {
+		fi.Direct.MayWriteDisk = true
+		// WriteAt is also a real module function: fall through to record
+		// the call edge so closures compose.
+	}
+	if isClockRead(p.ModulePath, callee) {
+		fi.Direct.MayReadClock = true
+		return
+	}
+	if callee.Pkg() == nil || !inModule(p.ModulePath, callee.Pkg().Path()) {
+		return // stdlib: no summarized effects beyond the special cases
+	}
+	if isRuntimePkg(p.ModulePath, callee.Pkg().Path()) {
+		// internal/vsync and internal/shuttle are the modeled runtime: their
+		// channel machinery implements scheduling, not program communication,
+		// so traversing into them would flag every vsync.Go under a lock.
+		return
+	}
+	cs := CallSite{Pos: call.Pos()}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			cs.Dynamic = true
+			cs.Callees = p.resolveDynamic(callee)
+			fi.Calls = append(fi.Calls, cs)
+			return
+		}
+	}
+	cs.Callees = []*types.Func{callee}
+	fi.Calls = append(fi.Calls, cs)
+}
+
+// resolveDynamic approximates an interface-method call by every method of a
+// module-declared type that implements the interface (class-hierarchy
+// analysis; conservative over-approximation of real receivers, deliberate
+// under-approximation for receivers declared outside the module).
+func (p *Program) resolveDynamic(m *types.Func) []*types.Func {
+	if out, ok := p.chaCache[m]; ok {
+		return out
+	}
+	var out []*types.Func
+	iface, _ := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if iface != nil {
+		for _, named := range p.namedTypes {
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+			if cf, ok := obj.(*types.Func); ok {
+				if cf.Pkg() != nil && isRuntimePkg(p.ModulePath, cf.Pkg().Path()) {
+					continue
+				}
+				if _, declared := p.funcs[cf]; declared {
+					out = append(out, cf)
+				}
+			}
+		}
+	}
+	p.chaCache[m] = out
+	return out
+}
+
+// recordCondBinding notices `x = vsync.NewCond(&lock)` and records the
+// cond-to-lock association used by the Cond.Wait discipline check.
+func (p *Program) recordCondBinding(u *Unit, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue
+		}
+		callee := staticCallee(u, call)
+		if callee == nil || callee.Name() != "NewCond" || !isVsyncPkg(u.ModulePath, callee.Pkg()) {
+			continue
+		}
+		arg := call.Args[0]
+		if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			arg = un.X
+		}
+		lockRef := lockRefOf(u, arg)
+		condRef := lockRefOf(u, as.Lhs[i])
+		if lockRef.Type != "" && condRef.Type != "" {
+			p.condLocks[condRef.Type] = lockRef.Type
+		}
+	}
+}
+
+// CondLock returns the lock key a cond (by type-level key) was built over.
+func (p *Program) CondLock(condKey string) string {
+	p.build()
+	return p.condLocks[condKey]
+}
+
+// FuncOf returns the node for a declared function, or nil.
+func (p *Program) FuncOf(obj *types.Func) *FuncInfo {
+	p.build()
+	return p.funcs[obj]
+}
+
+// Functions returns every decl-backed node in source order.
+func (p *Program) Functions() []*FuncInfo {
+	p.build()
+	return p.order
+}
+
+// Literals returns the anonymous func-literal nodes in creation order.
+func (p *Program) Literals() []*FuncInfo {
+	p.build()
+	return p.lits
+}
+
+// --- lock identification -------------------------------------------------
+
+type lockOpKind int
+
+const (
+	lockOpNone lockOpKind = iota
+	lockOpLock
+	lockOpTryLock
+	lockOpUnlock
+	lockOpRLock
+	lockOpRUnlock
+	lockOpCondWait
+	lockOpCondSignal
+)
+
+// LockRef names one lock (or cond) two ways: Type is the type-level key
+// ("internal/dep.Scheduler.mu") shared by every instance — the granularity
+// of the acquisition-order graph — and Instance distinguishes different
+// variables of the same type within one function, so locking a.mu and b.mu
+// is not mistaken for a recursive acquisition.
+type LockRef struct {
+	Type     string
+	Instance string
+}
+
+// vsyncLockOp classifies call as an operation on a vsync.Mutex/RWMutex/Cond
+// and resolves which lock it is about.
+func vsyncLockOp(u *Unit, call *ast.CallExpr) (lockOpKind, LockRef) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOpNone, LockRef{}
+	}
+	fn := methodObj(u, sel)
+	if fn == nil {
+		return lockOpNone, LockRef{}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOpNone, LockRef{}
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || !isVsyncPkg(u.ModulePath, named.Obj().Pkg()) {
+		return lockOpNone, LockRef{}
+	}
+	var kind lockOpKind
+	switch named.Obj().Name() {
+	case "Mutex":
+		switch fn.Name() {
+		case "Lock":
+			kind = lockOpLock
+		case "TryLock":
+			kind = lockOpTryLock
+		case "Unlock":
+			kind = lockOpUnlock
+		}
+	case "RWMutex":
+		switch fn.Name() {
+		case "Lock":
+			kind = lockOpLock
+		case "Unlock":
+			kind = lockOpUnlock
+		case "RLock":
+			kind = lockOpRLock
+		case "RUnlock":
+			kind = lockOpRUnlock
+		}
+	case "Cond":
+		switch fn.Name() {
+		case "Wait":
+			kind = lockOpCondWait
+		case "Signal", "Broadcast":
+			kind = lockOpCondSignal
+		}
+	}
+	if kind == lockOpNone {
+		return lockOpNone, LockRef{}
+	}
+	return kind, lockRefOf(u, sel.X)
+}
+
+// lockRefOf derives the two-level key for a lock-valued expression.
+func lockRefOf(u *Unit, expr ast.Expr) LockRef {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := u.Info.Selections[e]; ok {
+			recv := s.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			owner := ""
+			if named, ok := recv.(*types.Named); ok {
+				owner = relPkgPath(u.ModulePath, named.Obj().Pkg()) + "." + named.Obj().Name()
+			} else if s.Obj().Pkg() != nil {
+				owner = relPkgPath(u.ModulePath, s.Obj().Pkg()) + ".?"
+			}
+			typeKey := owner + "." + s.Obj().Name()
+			return LockRef{Type: typeKey, Instance: typeKey + "@" + baseIdentKey(u, e.X)}
+		}
+		// Qualified package-level var: pkg.Var
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := u.Info.Uses[id].(*types.PkgName); isPkg {
+				if obj := u.Info.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+					k := relPkgPath(u.ModulePath, obj.Pkg()) + "." + obj.Name()
+					return LockRef{Type: k, Instance: k}
+				}
+			}
+		}
+	case *ast.Ident:
+		if obj := u.Info.Uses[e]; obj != nil {
+			pkg := ""
+			if obj.Pkg() != nil {
+				pkg = relPkgPath(u.ModulePath, obj.Pkg())
+			}
+			if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				k := pkg + "." + obj.Name()
+				return LockRef{Type: k, Instance: k}
+			}
+			// Local variable: type key carries the variable name, instance
+			// the declaring position (distinct locals stay distinct).
+			k := pkg + ".local." + obj.Name()
+			return LockRef{Type: k, Instance: fmt.Sprintf("%s@%d", k, obj.Pos())}
+		}
+	case *ast.ParenExpr:
+		return lockRefOf(u, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockRefOf(u, e.X)
+		}
+	}
+	return LockRef{}
+}
+
+// baseIdentKey names the root of a selector chain so x.mu and y.mu get
+// distinct instance keys. Non-ident roots fall back to the expression
+// position (each such site its own instance — conservative for recursion
+// detection, harmless for release matching thanks to the type-key
+// fallback in the flow walker).
+func baseIdentKey(u *Unit, expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.Ident:
+			if obj := u.Info.Uses[e]; obj != nil {
+				return fmt.Sprintf("%s#%d", e.Name, obj.Pos())
+			}
+			return e.Name
+		default:
+			return fmt.Sprintf("expr#%d", expr.Pos())
+		}
+	}
+}
+
+// --- shared type/object helpers ------------------------------------------
+
+// methodObj resolves the *types.Func a selector call refers to (method via
+// Selections, package function via Uses).
+func methodObj(u *Unit, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := u.Info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	if fn, ok := u.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// staticCallee resolves call's target function object, nil for calls
+// through function values, built-ins, and type conversions.
+func staticCallee(u *Unit, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := u.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		return methodObj(u, fun)
+	}
+	return nil
+}
+
+func inModule(modulePath, pkgPath string) bool {
+	return pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/")
+}
+
+func relPkgPath(modulePath string, pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	if pkg.Path() == modulePath {
+		return "."
+	}
+	return strings.TrimPrefix(pkg.Path(), modulePath+"/")
+}
+
+func isVsyncPkg(modulePath string, pkg *types.Package) bool {
+	return pkg != nil && pkg.Path() == modulePath+"/internal/vsync"
+}
+
+// isRuntimePkg marks the modeled-runtime layer the call graph does not
+// traverse into.
+func isRuntimePkg(modulePath, pkgPath string) bool {
+	return pkgPath == modulePath+"/internal/vsync" || pkgPath == modulePath+"/internal/shuttle"
+}
+
+// CalleesOf resolves a call expression to its module-declared callee nodes
+// (one for a static call, several for a dynamically dispatched interface
+// method, none for function values, stdlib, and runtime-layer calls). Used
+// by the flow walker to consult callee summaries at a call site.
+func (p *Program) CalleesOf(u *Unit, call *ast.CallExpr) []*FuncInfo {
+	p.build()
+	callee := staticCallee(u, call)
+	if callee == nil || callee.Pkg() == nil {
+		return nil
+	}
+	if !inModule(p.ModulePath, callee.Pkg().Path()) || isRuntimePkg(p.ModulePath, callee.Pkg().Path()) {
+		return nil
+	}
+	var out []*FuncInfo
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			for _, cf := range p.resolveDynamic(callee) {
+				if fi := p.funcs[cf]; fi != nil {
+					out = append(out, fi)
+				}
+			}
+			return out
+		}
+	}
+	if fi := p.funcs[callee]; fi != nil {
+		out = append(out, fi)
+	}
+	return out
+}
+
+// isDiskMethod reports whether fn is (*disk.Disk).<name>.
+func isDiskMethod(modulePath string, fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != modulePath+"/internal/disk" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Disk"
+}
+
+// isClockRead reports whether fn reads a clock: time.Now/time.Since, or a
+// Now method on the module's obs clock surfaces.
+func isClockRead(modulePath string, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since") {
+		return true
+	}
+	if fn.Pkg().Path() == modulePath+"/internal/obs" && fn.Name() == "Now" {
+		return true
+	}
+	return false
+}
+
+// funcDisplayName renders "pkg.Func" / "pkg.(*Type).Method" for diagnostics.
+func funcDisplayName(u *Unit, fn *types.Func) string {
+	pkg := relPkgPath(u.ModulePath, fn.Pkg())
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		star := ""
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv, star = ptr.Elem(), "*"
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			return fmt.Sprintf("%s.(%s%s).%s", pkg, star, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + "." + fn.Name()
+}

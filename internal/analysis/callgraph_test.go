@@ -1,0 +1,130 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"shardstore/internal/analysis"
+)
+
+// TestCallGraphEffects exercises the engine directly on a synthetic package:
+// direct-call effect closure, interface dispatch resolved by implementation
+// (CHA), func-literal nodes, and cond→lock binding.
+func TestCallGraphEffects(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"shardstore/internal/chunk": {
+			"fix.go": `package chunk
+
+import (
+	"shardstore/internal/disk"
+	"shardstore/internal/vsync"
+)
+
+type syncer interface{ flush(d *disk.Disk) }
+
+type impl struct {
+	mu   vsync.Mutex
+	cond *vsync.Cond
+}
+
+func newImpl() *impl {
+	i := &impl{}
+	i.cond = vsync.NewCond(&i.mu)
+	return i
+}
+
+func (i *impl) flush(d *disk.Disk) { _ = d.Sync() }
+
+func helper(s syncer, d *disk.Disk) { s.flush(d) }
+
+func lockIt(i *impl) {
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+func top(i *impl, d *disk.Disk) {
+	lockIt(i)
+	helper(i, d)
+}
+
+func waitRecv(ch chan int) int { return <-ch }
+
+func top2(ch chan int) int { return waitRecv(ch) }
+
+func hasLit() {
+	fn := func(ch chan int) { ch <- 1 }
+	fn(nil)
+}
+`,
+		},
+		"shardstore/internal/vsync": fakeVsync,
+		"shardstore/internal/disk":  fakeDisk,
+	}
+	units, err := analysis.Load(analysis.Config{ModulePath: "shardstore", Overlay: overlay}, "shardstore/internal/chunk")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	p := analysis.NewProgram(units)
+
+	byName := make(map[string]*analysis.FuncInfo)
+	for _, fi := range p.Functions() {
+		byName[fi.Name] = fi
+	}
+	get := func(name string) *analysis.FuncInfo {
+		t.Helper()
+		fi := byName[name]
+		if fi == nil {
+			t.Fatalf("no FuncInfo for %s (have %d functions)", name, len(byName))
+		}
+		return fi
+	}
+
+	top := get("internal/chunk.top")
+	if top.Direct.MaySync {
+		t.Errorf("top.Direct.MaySync = true; sync only happens two calls down")
+	}
+	if !top.Closed.MaySync {
+		t.Errorf("top.Closed.MaySync = false; want true via helper -> syncer.flush -> impl.flush (CHA)")
+	}
+	if len(top.Direct.Acquires) != 0 {
+		t.Errorf("top.Direct.Acquires = %v; top takes no locks itself", top.Direct.Acquires)
+	}
+	if _, ok := top.Closed.Acquires["internal/chunk.impl.mu"]; !ok {
+		t.Errorf("top.Closed.Acquires missing internal/chunk.impl.mu (via lockIt); got %v", top.Closed.Acquires)
+	}
+
+	lockIt := get("internal/chunk.lockIt")
+	if _, ok := lockIt.Direct.Acquires["internal/chunk.impl.mu"]; !ok {
+		t.Errorf("lockIt.Direct.Acquires missing internal/chunk.impl.mu; got %v", lockIt.Direct.Acquires)
+	}
+
+	flush := get("internal/chunk.(*impl).flush")
+	if !flush.Direct.MaySync {
+		t.Errorf("flush.Direct.MaySync = false; it calls disk.Sync directly")
+	}
+
+	top2 := get("internal/chunk.top2")
+	if !top2.Closed.MayChanOp {
+		t.Errorf("top2.Closed.MayChanOp = false; want true via waitRecv's receive")
+	}
+	if top2.Direct.MayChanOp {
+		t.Errorf("top2.Direct.MayChanOp = true; the receive is in the callee")
+	}
+
+	if got := p.CondLock("internal/chunk.impl.cond"); got != "internal/chunk.impl.mu" {
+		t.Errorf("CondLock(impl.cond) = %q; want internal/chunk.impl.mu", got)
+	}
+
+	lits := p.Literals()
+	if len(lits) == 0 {
+		t.Fatalf("no func-literal nodes; hasLit's closure should have one")
+	}
+	foundLitChan := false
+	for _, li := range lits {
+		if li.Direct.MayChanOp {
+			foundLitChan = true
+		}
+	}
+	if !foundLitChan {
+		t.Errorf("no literal node carries MayChanOp; the closure in hasLit sends on a channel")
+	}
+}

@@ -26,6 +26,8 @@ var deterministicPkgs = map[string]bool{
 	"internal/rpc":         true,
 	"internal/compact":     true,
 	"internal/obs":         true,
+	"internal/dep":         true,
+	"internal/extent":      true,
 }
 
 // seededConstructors are the math/rand functions that build an explicitly

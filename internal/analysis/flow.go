@@ -1,0 +1,656 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the intraprocedural half of the flow-aware engine: a
+// defer-aware walker that tracks vsync lock state across branches, loops,
+// switches, selects, and early returns, and reports what it sees through
+// hooks. lockorder and unlockpath are thin consumers of the same walk.
+//
+// The walk is a structural abstract interpretation, not a full CFG: each
+// statement maps an input lock state to an output state, branch merges are
+// pointwise joins (held on one path only becomes "maybe held"), and goto is
+// the one construct handled by giving up on the path (no exit check). Func
+// literals are separate walks with an empty entry state.
+
+// heldLock is one tracked lock in the walker state.
+type heldLock struct {
+	Ref  LockRef
+	Pos  token.Pos // acquisition site
+	Read bool      // read-locked (RLock) rather than exclusive
+	// Deferred: a matching deferred unlock is registered, so the release
+	// obligation is met on every exit from here on.
+	Deferred bool
+	// Maybe: held on some but not all merged paths.
+	Maybe bool
+}
+
+// flowState is the walker's per-path state: the locks currently held, in
+// acquisition order, plus whether this path has already exited.
+type flowState struct {
+	held        []heldLock
+	unreachable bool
+}
+
+func (s flowState) clone() flowState {
+	return flowState{held: append([]heldLock(nil), s.held...), unreachable: s.unreachable}
+}
+
+func (s *flowState) find(instance string) int {
+	for i := range s.held {
+		if s.held[i].Ref.Instance == instance {
+			return i
+		}
+	}
+	return -1
+}
+
+// findType is the fallback for unlocks whose instance key does not match
+// any held entry (e.g. re-derived through a differently rooted expression):
+// match by type-level key instead.
+func (s *flowState) findType(typeKey string) int {
+	for i := range s.held {
+		if s.held[i].Ref.Type == typeKey {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *flowState) remove(i int) {
+	s.held = append(s.held[:i:i], s.held[i+1:]...)
+}
+
+// mergeStates joins two branch outcomes.
+func mergeStates(a, b flowState) flowState {
+	if a.unreachable {
+		return b
+	}
+	if b.unreachable {
+		return a
+	}
+	out := flowState{}
+	inB := make(map[string]int, len(b.held))
+	for i := range b.held {
+		inB[b.held[i].Ref.Instance] = i
+	}
+	seen := make(map[string]bool, len(a.held))
+	for _, ha := range a.held {
+		seen[ha.Ref.Instance] = true
+		if j, ok := inB[ha.Ref.Instance]; ok {
+			hb := b.held[j]
+			m := ha
+			m.Maybe = ha.Maybe || hb.Maybe
+			m.Deferred = ha.Deferred && hb.Deferred
+			out.held = append(out.held, m)
+		} else {
+			m := ha
+			m.Maybe = true
+			out.held = append(out.held, m)
+		}
+	}
+	for _, hb := range b.held {
+		if !seen[hb.Ref.Instance] {
+			m := hb
+			m.Maybe = true
+			out.held = append(out.held, m)
+		}
+	}
+	return out
+}
+
+// flowHooks is the event surface passes implement. All fields are optional.
+// Slices passed to hooks are live walker state: consume, don't retain.
+type flowHooks struct {
+	// acquire fires before a blocking Lock/RLock takes effect, with the
+	// locks held at that point (the order-graph edge source set).
+	acquire func(pos token.Pos, ref LockRef, read bool, held []heldLock)
+	// reacquire fires for a blocking acquire of an instance already held
+	// (self-deadlock for exclusive locks).
+	reacquire func(pos token.Pos, ref LockRef, prev heldLock)
+	// badRelease fires for an Unlock/RUnlock whose mode does not match how
+	// the lock is held (prev is the held entry).
+	badRelease func(pos token.Pos, ref LockRef, prev heldLock, read bool)
+	// blocking fires for a direct potentially-blocking operation: channel
+	// send/receive, select without default, range over a channel, disk.Sync.
+	blocking func(pos token.Pos, what string, held []heldLock)
+	// condWait fires for (*vsync.Cond).Wait with the current held set.
+	condWait func(pos token.Pos, cond LockRef, held []heldLock)
+	// call fires for each resolved module callee at a call site.
+	call func(pos token.Pos, callee *FuncInfo, held []heldLock)
+	// exit fires at every return, panic, and reachable end of body.
+	exit func(pos token.Pos, kind string, held []heldLock)
+	// loopRepeat fires when a loop iteration ends holding locks (without a
+	// registered deferred unlock) that were not held at loop entry.
+	loopRepeat func(pos token.Pos, leaked []heldLock)
+}
+
+// breakable is one enclosing construct a break (and for loops, continue)
+// can target.
+type breakable struct {
+	label     string
+	isLoop    bool
+	breaks    []flowState
+	continues []flowState
+}
+
+type flowWalker struct {
+	p            *Program
+	u            *Unit
+	fi           *FuncInfo
+	h            flowHooks
+	stack        []*breakable
+	pendingLabel string
+	// suppressChan temporarily disables chan-op blocking events (select
+	// comm clauses report once via the select itself).
+	suppressChan bool
+}
+
+// walkFunc runs the lock-state walk over one function (or literal) node.
+func walkFunc(p *Program, fi *FuncInfo, h flowHooks) {
+	body := fi.Body()
+	if body == nil {
+		return
+	}
+	w := &flowWalker{p: p, u: fi.Unit, fi: fi, h: h}
+	out := w.stmt(body, flowState{})
+	if !out.unreachable && h.exit != nil {
+		h.exit(body.Rbrace, "end of function", out.held)
+	}
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st flowState) flowState {
+	if st.unreachable || s == nil {
+		return st
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			st = w.stmt(inner, st)
+		}
+		return st
+	case *ast.ExprStmt:
+		return w.expr(s.X, st)
+	case *ast.SendStmt:
+		st = w.expr(s.Chan, st)
+		st = w.expr(s.Value, st)
+		if !w.suppressChan && w.h.blocking != nil {
+			w.h.blocking(s.Arrow, "channel send", st.held)
+		}
+		return st
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st = w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			st = w.expr(e, st)
+		}
+		return st
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						st = w.expr(e, st)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.IncDecStmt:
+		return w.expr(s.X, st)
+	case *ast.DeferStmt:
+		return w.deferStmt(s, st)
+	case *ast.GoStmt:
+		// The spawned body is its own node with an empty entry state; the
+		// go statement itself does not block.
+		for _, arg := range s.Call.Args {
+			st = w.expr(arg, st)
+		}
+		return st
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st = w.expr(e, st)
+		}
+		if w.h.exit != nil {
+			w.h.exit(s.Return, "return", st.held)
+		}
+		st.unreachable = true
+		return st
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.ForStmt:
+		return w.forStmt(s, st)
+	case *ast.RangeStmt:
+		return w.rangeStmt(s, st)
+	case *ast.SwitchStmt:
+		return w.switchStmt(s, st)
+	case *ast.TypeSwitchStmt:
+		return w.typeSwitchStmt(s, st)
+	case *ast.SelectStmt:
+		return w.selectStmt(s, st)
+	case *ast.BranchStmt:
+		return w.branchStmt(s, st)
+	case *ast.LabeledStmt:
+		w.pendingLabel = s.Label.Name
+		return w.stmt(s.Stmt, st)
+	case *ast.EmptyStmt:
+		return st
+	default:
+		return st
+	}
+}
+
+// expr scans an expression for lock operations, calls, receives, and
+// panics, in source order, without descending into func literals.
+func (w *flowWalker) expr(e ast.Expr, st flowState) flowState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !w.suppressChan && w.h.blocking != nil {
+				w.h.blocking(n.OpPos, "channel receive", st.held)
+			}
+		case *ast.CallExpr:
+			st = w.call(n, st)
+			// The call's own Fun/Args still get visited for nested
+			// receives and calls; lock ops resolved here are plain
+			// selector chains that classify as nothing further down.
+		}
+		return true
+	})
+	return st
+}
+
+// call interprets one call expression against the current state.
+func (w *flowWalker) call(call *ast.CallExpr, st flowState) flowState {
+	if op, ref := vsyncLockOp(w.u, call); op != lockOpNone {
+		return w.lockCall(call.Pos(), op, ref, st)
+	}
+	// Builtin panic exits the function with locks as they stand.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := w.u.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if w.h.exit != nil {
+				w.h.exit(call.Pos(), "panic", st.held)
+			}
+			st.unreachable = true
+			return st
+		}
+	}
+	if callee := staticCallee(w.u, call); callee != nil && isDiskMethod(w.u.ModulePath, callee, "Sync") {
+		if w.h.blocking != nil {
+			w.h.blocking(call.Pos(), "disk.Sync", st.held)
+		}
+		return st
+	}
+	if w.h.call != nil {
+		for _, fi := range w.p.CalleesOf(w.u, call) {
+			w.h.call(call.Pos(), fi, st.held)
+		}
+	}
+	return st
+}
+
+// lockCall applies a vsync Mutex/RWMutex/Cond operation to the state.
+func (w *flowWalker) lockCall(pos token.Pos, op lockOpKind, ref LockRef, st flowState) flowState {
+	switch op {
+	case lockOpLock, lockOpRLock:
+		read := op == lockOpRLock
+		if i := st.find(ref.Instance); i >= 0 {
+			// Re-acquiring a read lock is merely inadvisable; re-acquiring
+			// anything held exclusively (or upgrading) self-deadlocks.
+			if !(read && st.held[i].Read) && w.h.reacquire != nil {
+				w.h.reacquire(pos, ref, st.held[i])
+			}
+			return st
+		}
+		if w.h.acquire != nil {
+			w.h.acquire(pos, ref, read, st.held)
+		}
+		st.held = append(st.held, heldLock{Ref: ref, Pos: pos, Read: read})
+	case lockOpTryLock:
+		// A bare TryLock (outside the `if mu.TryLock()` form handled by
+		// ifStmt) conveys no path information; it neither blocks nor is
+		// known to succeed, so the state is unchanged.
+	case lockOpUnlock, lockOpRUnlock:
+		read := op == lockOpRUnlock
+		i := st.find(ref.Instance)
+		if i < 0 {
+			i = st.findType(ref.Type)
+		}
+		if i < 0 {
+			// Unlock of a lock this function did not acquire: the caller
+			// holds it (the *Locked convention / lock passing). No
+			// intraprocedural obligation to track.
+			return st
+		}
+		if st.held[i].Read != read && w.h.badRelease != nil {
+			w.h.badRelease(pos, ref, st.held[i], read)
+		}
+		st.remove(i)
+	case lockOpCondWait:
+		if w.h.condWait != nil {
+			w.h.condWait(pos, ref, st.held)
+		}
+	case lockOpCondSignal:
+	}
+	return st
+}
+
+// deferStmt registers deferred releases: `defer mu.Unlock()` directly, and
+// unlocks inside a deferred func literal.
+func (w *flowWalker) deferStmt(s *ast.DeferStmt, st flowState) flowState {
+	for _, arg := range s.Call.Args {
+		st = w.expr(arg, st)
+	}
+	markDeferred := func(ref LockRef) {
+		i := st.find(ref.Instance)
+		if i < 0 {
+			i = st.findType(ref.Type)
+		}
+		if i >= 0 {
+			st.held[i].Deferred = true
+		}
+	}
+	if op, ref := vsyncLockOp(w.u, s.Call); op == lockOpUnlock || op == lockOpRUnlock {
+		markDeferred(ref)
+		return st
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(lit) {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ref := vsyncLockOp(w.u, call); op == lockOpUnlock || op == lockOpRUnlock {
+					markDeferred(ref)
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+// tryLockCond recognizes `if mu.TryLock()` / `if !mu.TryLock()` /
+// `if ok := mu.TryLock(); ok` and returns the lock plus whether the
+// true-branch is the holding one.
+func (w *flowWalker) tryLockCond(init ast.Stmt, cond ast.Expr) (ref LockRef, holdOnTrue, ok bool) {
+	holdOnTrue = true
+	e := ast.Unparen(cond)
+	if un, isNot := e.(*ast.UnaryExpr); isNot && un.Op == token.NOT {
+		holdOnTrue = false
+		e = ast.Unparen(un.X)
+	}
+	if call, isCall := e.(*ast.CallExpr); isCall {
+		if op, r := vsyncLockOp(w.u, call); op == lockOpTryLock {
+			return r, holdOnTrue, true
+		}
+	}
+	if id, isIdent := e.(*ast.Ident); isIdent {
+		if as, isAssign := init.(*ast.AssignStmt); isAssign && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if lhs, isLhsIdent := as.Lhs[0].(*ast.Ident); isLhsIdent && lhs.Name == id.Name {
+				if call, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+					if op, r := vsyncLockOp(w.u, call); op == lockOpTryLock {
+						return r, holdOnTrue, true
+					}
+				}
+			}
+		}
+	}
+	return LockRef{}, false, false
+}
+
+func (w *flowWalker) ifStmt(s *ast.IfStmt, st flowState) flowState {
+	w.pendingLabel = ""
+	st = w.stmt(s.Init, st)
+	tryRef, holdOnTrue, isTry := w.tryLockCond(s.Init, s.Cond)
+	if !isTry {
+		st = w.expr(s.Cond, st)
+	}
+	thenSt, elseSt := st.clone(), st.clone()
+	if isTry {
+		holding := &thenSt
+		if !holdOnTrue {
+			holding = &elseSt
+		}
+		holding.held = append(holding.held, heldLock{Ref: tryRef, Pos: s.Cond.Pos()})
+	}
+	thenOut := w.stmt(s.Body, thenSt)
+	elseOut := elseSt
+	if s.Else != nil {
+		elseOut = w.stmt(s.Else, elseSt)
+	}
+	return mergeStates(thenOut, elseOut)
+}
+
+func (w *flowWalker) pushBreakable(isLoop bool) *breakable {
+	b := &breakable{label: w.pendingLabel, isLoop: isLoop}
+	w.pendingLabel = ""
+	w.stack = append(w.stack, b)
+	return b
+}
+
+func (w *flowWalker) popBreakable() {
+	w.stack = w.stack[:len(w.stack)-1]
+}
+
+// checkLoopRepeat compares a loop-iteration end state against the loop
+// entry state and reports net acquisitions that will be held into the next
+// iteration.
+func (w *flowWalker) checkLoopRepeat(pos token.Pos, entry, end flowState) {
+	if end.unreachable || w.h.loopRepeat == nil {
+		return
+	}
+	var leaked []heldLock
+	for _, h := range end.held {
+		if h.Deferred || h.Maybe {
+			continue
+		}
+		if entry.find(h.Ref.Instance) < 0 {
+			leaked = append(leaked, h)
+		}
+	}
+	if len(leaked) > 0 {
+		w.h.loopRepeat(pos, leaked)
+	}
+}
+
+func (w *flowWalker) forStmt(s *ast.ForStmt, st flowState) flowState {
+	st = w.stmt(s.Init, st)
+	st = w.expr(s.Cond, st)
+	entry := st.clone()
+	b := w.pushBreakable(true)
+	bodyOut := w.stmt(s.Body, entry.clone())
+	for _, c := range b.continues {
+		bodyOut = mergeStates(bodyOut, c)
+	}
+	bodyOut = w.stmt(s.Post, bodyOut)
+	if !bodyOut.unreachable {
+		bodyOut = w.expr(s.Cond, bodyOut)
+	}
+	w.popBreakable()
+	w.checkLoopRepeat(s.For, entry, bodyOut)
+	var after flowState
+	if s.Cond == nil {
+		// `for {}`: only breaks exit the loop.
+		after = flowState{unreachable: true}
+	} else {
+		after = mergeStates(entry, bodyOut)
+	}
+	for _, br := range b.breaks {
+		after = mergeStates(after, br)
+	}
+	return after
+}
+
+func (w *flowWalker) rangeStmt(s *ast.RangeStmt, st flowState) flowState {
+	st = w.expr(s.X, st)
+	if tv, ok := w.u.Info.Types[s.X]; ok && tv.Type != nil {
+		if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+			if !w.suppressChan && w.h.blocking != nil {
+				w.h.blocking(s.For, "range over channel", st.held)
+			}
+		}
+	}
+	entry := st.clone()
+	b := w.pushBreakable(true)
+	bodyOut := w.stmt(s.Body, entry.clone())
+	for _, c := range b.continues {
+		bodyOut = mergeStates(bodyOut, c)
+	}
+	w.popBreakable()
+	w.checkLoopRepeat(s.For, entry, bodyOut)
+	after := mergeStates(entry, bodyOut)
+	for _, br := range b.breaks {
+		after = mergeStates(after, br)
+	}
+	return after
+}
+
+// caseBodies walks switch/select case bodies from a shared entry state and
+// merges the outcomes (plus fallthrough chaining for expression switches).
+func (w *flowWalker) switchStmt(s *ast.SwitchStmt, st flowState) flowState {
+	w.pendingLabel = ""
+	st = w.stmt(s.Init, st)
+	st = w.expr(s.Tag, st)
+	b := w.pushBreakable(false)
+	after := flowState{unreachable: true}
+	hasDefault := false
+	carry := flowState{unreachable: true} // fallthrough state from previous case
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseSt := st.clone()
+		for _, e := range cc.List {
+			caseSt = w.expr(e, caseSt)
+		}
+		caseSt = mergeStates(caseSt, carry)
+		carry = flowState{unreachable: true}
+		fellThrough := false
+		for _, inner := range cc.Body {
+			if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fellThrough = true
+				break
+			}
+			caseSt = w.stmt(inner, caseSt)
+		}
+		if fellThrough {
+			carry = caseSt
+			continue
+		}
+		after = mergeStates(after, caseSt)
+	}
+	w.popBreakable()
+	if !hasDefault {
+		after = mergeStates(after, st)
+	}
+	for _, br := range b.breaks {
+		after = mergeStates(after, br)
+	}
+	return after
+}
+
+func (w *flowWalker) typeSwitchStmt(s *ast.TypeSwitchStmt, st flowState) flowState {
+	w.pendingLabel = ""
+	st = w.stmt(s.Init, st)
+	st = w.stmt(s.Assign, st)
+	b := w.pushBreakable(false)
+	after := flowState{unreachable: true}
+	hasDefault := false
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseSt := st.clone()
+		for _, inner := range cc.Body {
+			caseSt = w.stmt(inner, caseSt)
+		}
+		after = mergeStates(after, caseSt)
+	}
+	w.popBreakable()
+	if !hasDefault {
+		after = mergeStates(after, st)
+	}
+	for _, br := range b.breaks {
+		after = mergeStates(after, br)
+	}
+	return after
+}
+
+func (w *flowWalker) selectStmt(s *ast.SelectStmt, st flowState) flowState {
+	w.pendingLabel = ""
+	hasDefault := false
+	for _, clause := range s.Body.List {
+		if clause.(*ast.CommClause).Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && w.h.blocking != nil {
+		w.h.blocking(s.Select, "select", st.held)
+	}
+	b := w.pushBreakable(false)
+	after := flowState{unreachable: true}
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CommClause)
+		caseSt := st.clone()
+		// The comm op is the select's own blocking point, already reported
+		// once above — don't re-report each arm.
+		w.suppressChan = true
+		caseSt = w.stmt(cc.Comm, caseSt)
+		w.suppressChan = false
+		for _, inner := range cc.Body {
+			caseSt = w.stmt(inner, caseSt)
+		}
+		after = mergeStates(after, caseSt)
+	}
+	w.popBreakable()
+	for _, br := range b.breaks {
+		after = mergeStates(after, br)
+	}
+	return after
+}
+
+func (w *flowWalker) branchStmt(s *ast.BranchStmt, st flowState) flowState {
+	target := func(needLoop bool) *breakable {
+		for i := len(w.stack) - 1; i >= 0; i-- {
+			b := w.stack[i]
+			if needLoop && !b.isLoop {
+				continue
+			}
+			if s.Label == nil || b.label == s.Label.Name {
+				return b
+			}
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if b := target(false); b != nil {
+			b.breaks = append(b.breaks, st.clone())
+		}
+		st.unreachable = true
+	case token.CONTINUE:
+		if b := target(true); b != nil {
+			b.continues = append(b.continues, st.clone())
+		}
+		st.unreachable = true
+	case token.GOTO:
+		// Conservatively abandon the path: no exit check, no merge.
+		st.unreachable = true
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt.
+	}
+	return st
+}

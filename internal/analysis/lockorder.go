@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// flowScopePkgs are the packages the lock-discipline passes (lockorder,
+// unlockpath) walk: the durable path plus everything the paper's node model
+// checks. internal/vsync and internal/shuttle are the runtime being modeled
+// (excluded from the call graph entirely); model/linearize/prop hold only
+// oracle-side state the node never contends on; experiments and cmd drive
+// the harness from outside it.
+var flowScopePkgs = map[string]bool{
+	"internal/store":       true,
+	"internal/chunk":       true,
+	"internal/lsm":         true,
+	"internal/dep":         true,
+	"internal/compact":     true,
+	"internal/scrub":       true,
+	"internal/obs":         true,
+	"internal/disk":        true,
+	"internal/extent":      true,
+	"internal/buffercache": true,
+	"internal/rpc":         true,
+}
+
+// inFlowScope selects the function nodes the lock-discipline passes walk:
+// non-test files of the scoped packages.
+func inFlowScope(fi *FuncInfo) bool {
+	if fi.Unit.XTest || !flowScopePkgs[fi.Unit.RelPath()] {
+		return false
+	}
+	pos := fi.Unit.Fset.Position(fi.Body().Pos())
+	return !strings.HasSuffix(pos.Filename, "_test.go")
+}
+
+// LockOrder derives the module's vsync lock-acquisition order and flags the
+// two deadlock shapes the harness can only find by luck: order cycles, and
+// holding a lock across a potentially blocking operation (disk.Sync, a
+// channel op, a select, or a barrier/cond wait) — directly or through any
+// statically reachable callee. This is the bug class PRs 6–7 fixed by hand
+// in the group-commit and compaction paths.
+var LockOrder = &Pass{
+	Name:      "lockorder",
+	Doc:       "vsync lock-order cycles and locks held across blocking operations",
+	RunModule: runLockOrder,
+}
+
+// orderEdge is one observed "A held while acquiring B" with a
+// representative site for reporting.
+type orderEdge struct {
+	pos token.Pos
+	fi  *FuncInfo
+	via string // callee path when the acquisition is indirect
+}
+
+func describeHeld(held []heldLock) string {
+	names := make([]string, 0, len(held))
+	for _, h := range held {
+		names = append(names, h.Ref.Type)
+	}
+	return strings.Join(names, ", ")
+}
+
+func runLockOrder(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	// edges[from][to] is the first site where `to` was acquired with
+	// `from` held.
+	edges := make(map[string]map[string]orderEdge)
+	addEdge := func(from, to string, e orderEdge) {
+		if from == to {
+			return // same-type, different-instance: unlockpath's domain
+		}
+		m := edges[from]
+		if m == nil {
+			m = make(map[string]orderEdge)
+			edges[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = e
+		}
+	}
+	// seen dedupes held-across-blocking findings per (position, effect):
+	// dynamic dispatch can resolve one call site to several callees with
+	// the same effect.
+	seen := make(map[string]bool)
+	report := func(fi *FuncInfo, pos token.Pos, msg string) {
+		position := fi.Unit.Fset.Position(pos)
+		key := fmt.Sprintf("%s:%d:%d:%s", position.Filename, position.Line, position.Column, msg)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		diags = append(diags, Diagnostic{Pass: "lockorder", Pos: position, Message: msg})
+	}
+
+	walkOne := func(fi *FuncInfo) {
+		hooks := flowHooks{
+			acquire: func(pos token.Pos, ref LockRef, read bool, held []heldLock) {
+				for _, h := range held {
+					addEdge(h.Ref.Type, ref.Type, orderEdge{pos: pos, fi: fi})
+				}
+			},
+			call: func(pos token.Pos, callee *FuncInfo, held []heldLock) {
+				if len(held) == 0 {
+					return
+				}
+				for to := range callee.Closed.Acquires {
+					for _, h := range held {
+						addEdge(h.Ref.Type, to, orderEdge{pos: pos, fi: fi, via: callee.Name})
+					}
+				}
+				if callee.Closed.MaySync {
+					report(fi, pos, fmt.Sprintf("holds %s across call to %s, which may reach disk.Sync (%s)",
+						describeHeld(held), callee.Name, viaHint(callee.Closed.SyncVia, "")))
+				}
+				if callee.Closed.MayChanOp {
+					report(fi, pos, fmt.Sprintf("holds %s across call to %s, which may perform a channel operation (%s)",
+						describeHeld(held), callee.Name, viaHint(callee.Closed.ChanVia, "")))
+				}
+				for condKey, via := range callee.Closed.CondWaits {
+					condLock := p.CondLock(condKey)
+					if condLock == "" {
+						continue // unresolvable binding: stay quiet rather than guess
+					}
+					for _, h := range held {
+						if h.Ref.Type == condLock {
+							continue // Wait releases its own lock
+						}
+						report(fi, pos, fmt.Sprintf("holds %s across call to %s, which may wait on %s (%s); only %s is released during the wait",
+							h.Ref.Type, callee.Name, condKey, viaHint(via, ""), condLock))
+					}
+				}
+			},
+			blocking: func(pos token.Pos, what string, held []heldLock) {
+				if len(held) == 0 {
+					return
+				}
+				report(fi, pos, fmt.Sprintf("%s while holding %s", what, describeHeld(held)))
+			},
+			condWait: func(pos token.Pos, cond LockRef, held []heldLock) {
+				lockKey := p.CondLock(cond.Type)
+				holdsOwn := false
+				for _, h := range held {
+					if lockKey != "" && h.Ref.Type == lockKey {
+						holdsOwn = true
+						continue
+					}
+					report(fi, pos, fmt.Sprintf("holds %s across %s.Wait (a barrier wait releases only its own lock)",
+						h.Ref.Type, cond.Type))
+				}
+				// "Wait without its lock" needs positive evidence the lock
+				// was dropped: a function that never acquires it is a
+				// *Locked-style callee whose caller holds it.
+				if lockKey != "" && !holdsOwn {
+					if _, acquiresIt := fi.Direct.Acquires[lockKey]; acquiresIt {
+						report(fi, pos, fmt.Sprintf("%s.Wait without holding its lock %s", cond.Type, lockKey))
+					}
+				}
+			},
+		}
+		walkFunc(p, fi, hooks)
+	}
+	for _, fi := range p.Functions() {
+		if inFlowScope(fi) {
+			walkOne(fi)
+		}
+	}
+	for _, fi := range p.Literals() {
+		if inFlowScope(fi) {
+			walkOne(fi)
+		}
+	}
+
+	diags = append(diags, lockOrderCycles(p, edges)...)
+	return diags
+}
+
+// lockOrderCycles finds cycles in the acquisition-order graph and reports
+// each once, deterministically, anchored at the cycle's lexically first
+// edge site so a waiver (if ever justified) has a stable line to sit on.
+func lockOrderCycles(p *Program, edges map[string]map[string]orderEdge) []Diagnostic {
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// Iterative DFS cycle enumeration over a graph whose node count is the
+	// number of distinct locks — tiny — so simple path search is fine:
+	// for each node (in sorted order), find a shortest cycle back to it
+	// through sorted adjacency, and report it if this node is the cycle's
+	// smallest (each cycle reported exactly once).
+	var diags []Diagnostic
+	for _, start := range nodes {
+		path := shortestCycle(edges, start)
+		if path == nil {
+			continue
+		}
+		smallest := true
+		for _, n := range path[1:] {
+			if n < start {
+				smallest = false
+				break
+			}
+		}
+		if !smallest {
+			continue
+		}
+		var parts []string
+		var anchor orderEdge
+		for i := 0; i < len(path); i++ {
+			from, to := path[i], path[(i+1)%len(path)]
+			e := edges[from][to]
+			if anchor.fi == nil || e.pos < anchor.pos {
+				anchor = e
+			}
+			site := e.fi.Unit.Fset.Position(e.pos)
+			via := ""
+			if e.via != "" {
+				via = " via " + e.via
+			}
+			parts = append(parts, fmt.Sprintf("%s -> %s (%s:%d%s)", from, to, shortFile(site.Filename), site.Line, via))
+		}
+		diags = append(diags, Diagnostic{
+			Pass:    "lockorder",
+			Pos:     anchor.fi.Unit.Fset.Position(anchor.pos),
+			Message: "lock-order cycle: " + strings.Join(parts, ", "),
+		})
+	}
+	return diags
+}
+
+// shortestCycle BFSes from start back to start, preferring sorted
+// neighbors, and returns the node path (start first) or nil.
+func shortestCycle(edges map[string]map[string]orderEdge, start string) []string {
+	type qent struct {
+		node string
+		path []string
+	}
+	queue := []qent{{start, []string{start}}}
+	visited := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := make([]string, 0, len(edges[cur.node]))
+		for to := range edges[cur.node] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if to == start {
+				return cur.path
+			}
+			if !visited[to] {
+				visited[to] = true
+				queue = append(queue, qent{to, append(append([]string(nil), cur.path...), to)})
+			}
+		}
+	}
+	return nil
+}
+
+func shortFile(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		// Keep the parent dir for cross-package readability: pkg/file.go.
+		if j := strings.LastIndexByte(filename[:i], '/'); j >= 0 {
+			return filename[j+1:]
+		}
+	}
+	return filename
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ObsComplete checks RPC v2 opcode instrumentation completeness: every
+// declared Opcode constant has an opName case (so its metric name is never
+// the op_N fallback), a dispatchInner case (so it is actually served), and
+// a value no greater than opMax (so the opPut..opMax registration loop
+// resolves its latency histogram). Adding opcode 19 without bumping opMax
+// would silently drop its histogram — exactly the completeness gap this
+// pass exists to catch. The structural anchors (opName, dispatchInner, the
+// registration loop) are repo-specific by design, like the package lists in
+// syncusage; renaming them is itself a finding so the pass can be retargeted
+// in the same change.
+var ObsComplete = &Pass{
+	Name:      "obscomplete",
+	Doc:       "every rpc v2 opcode has opName, dispatch, and histogram coverage",
+	RunModule: runObsComplete,
+}
+
+func runObsComplete(p *Program) []Diagnostic {
+	var rpcUnit *Unit
+	for _, u := range p.Units {
+		if !u.XTest && u.RelPath() == "internal/rpc" {
+			rpcUnit = u
+			break
+		}
+	}
+	if rpcUnit == nil {
+		return nil // module loaded without the rpc package (partial loads, fixtures)
+	}
+	u := rpcUnit
+
+	type opConst struct {
+		name string
+		val  uint64
+		pos  token.Pos
+	}
+	var ops []opConst // assigned opcodes, in declaration order, opMax aliases excluded
+	var opMaxVal uint64
+	var opMaxSeen bool
+	var anchor token.Pos // position for whole-package findings
+
+	srcFile := func(pos token.Pos) bool {
+		return !strings.HasSuffix(u.Fset.Position(pos).Filename, "_test.go")
+	}
+
+	for _, f := range u.Files {
+		if !srcFile(f.Pos()) {
+			continue
+		}
+		if anchor == token.NoPos {
+			anchor = f.Name.Pos()
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					c, ok := u.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					named, ok := c.Type().(*types.Named)
+					if !ok || named.Obj().Name() != "Opcode" || named.Obj().Pkg() != u.Pkg {
+						continue
+					}
+					v, ok := constant.Uint64Val(c.Val())
+					if !ok {
+						continue
+					}
+					if name.Name == "opMax" {
+						opMaxVal, opMaxSeen = v, true
+						continue
+					}
+					if v == 0 {
+						continue // opInvalid: the explicit non-op
+					}
+					ops = append(ops, opConst{name: name.Name, val: v, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	if len(ops) == 0 {
+		return nil // not an opcode-bearing rpc package (overlay fixtures for other passes)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].val < ops[j].val })
+
+	// Collect the case coverage of opName and dispatchInner, and whether
+	// the opPut..opMax metric registration loop exists.
+	opNameCases := make(map[uint64]bool)
+	dispatchCases := make(map[uint64]bool)
+	var haveOpName, haveDispatch, haveRegLoop bool
+
+	collectCases := func(body *ast.BlockStmt, into map[uint64]bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := u.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Name() != "Opcode" {
+				return true
+			}
+			for _, clause := range sw.Body.List {
+				for _, e := range clause.(*ast.CaseClause).List {
+					if etv, ok := u.Info.Types[e]; ok && etv.Value != nil {
+						if v, exact := constant.Uint64Val(etv.Value); exact {
+							into[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range u.Files {
+		if !srcFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "opName":
+				haveOpName = true
+				collectCases(fd.Body, opNameCases)
+			case "dispatchInner":
+				haveDispatch = true
+				collectCases(fd.Body, dispatchCases)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				fs, ok := n.(*ast.ForStmt)
+				if !ok || fs.Cond == nil {
+					return true
+				}
+				be, ok := fs.Cond.(*ast.BinaryExpr)
+				if !ok || be.Op != token.LEQ {
+					return true
+				}
+				if id, ok := be.Y.(*ast.Ident); !ok || id.Name != "opMax" {
+					return true
+				}
+				ast.Inspect(fs.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Histogram" {
+							haveRegLoop = true
+						}
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pass:    "obscomplete",
+			Pos:     u.Fset.Position(pos),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if !haveOpName {
+		report(anchor, "no opName function found: the pass's metric-name anchor is gone — retarget obscomplete in this change")
+	}
+	if !haveDispatch {
+		report(anchor, "no dispatchInner function found: the pass's dispatch anchor is gone — retarget obscomplete in this change")
+	}
+	if !haveRegLoop {
+		report(anchor, "no `for op := ...; op <= opMax` Histogram registration loop found: per-op latency histograms are not resolved")
+	}
+	if !opMaxSeen {
+		report(anchor, "no opMax constant found: the per-op metric registration loop has no upper bound")
+	}
+
+	for _, op := range ops {
+		if haveOpName && !opNameCases[op.val] {
+			report(op.pos, "opcode %s = %d has no opName case: its metric and trace names fall back to %q",
+				op.name, op.val, fmt.Sprintf("op_%d", op.val))
+		}
+		if haveDispatch && !dispatchCases[op.val] {
+			report(op.pos, "opcode %s = %d has no dispatchInner case: requests with it are never served", op.name, op.val)
+		}
+		if opMaxSeen && op.val > opMaxVal {
+			report(op.pos, "opcode %s = %d exceeds opMax (%d): the registration loop never resolves its latency histogram",
+				op.name, op.val, opMaxVal)
+		}
+	}
+	return diags
+}

@@ -2,27 +2,47 @@ package analysis_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"shardstore/internal/analysis"
 )
 
-// TestShardlintCleanOnRepo runs the full pass suite over the real module
-// and requires zero findings. With this gate in place a shardlint failure
-// in CI is always a regression introduced by the change under review —
-// never pre-existing noise and never flake (the analysis is a pure
-// function of the source tree).
-func TestShardlintCleanOnRepo(t *testing.T) {
+// repoLoad caches the whole-module load so the clean-repo meta-test and the
+// waiver-budget gate share one type-check (the dominant cost of both).
+var repoLoad struct {
+	once  sync.Once
+	units []*analysis.Unit
+	err   error
+}
+
+// loadRepo returns the fully type-checked real module, loading it at most
+// once per test binary. Tests using it skip under -short.
+func loadRepo(t *testing.T) []*analysis.Unit {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
-	units, err := analysis.LoadModule("../..", "./...")
-	if err != nil {
-		t.Fatalf("load module: %v", err)
+	repoLoad.once.Do(func() {
+		repoLoad.units, repoLoad.err = analysis.LoadModule("../..", "./...")
+	})
+	if repoLoad.err != nil {
+		t.Fatalf("load module: %v", repoLoad.err)
 	}
-	if len(units) == 0 {
+	if len(repoLoad.units) == 0 {
 		t.Fatal("loaded no units")
 	}
+	return repoLoad.units
+}
+
+// TestShardlintCleanOnRepo runs the full pass suite — the per-file passes
+// and the flow-aware module passes (lockorder, unlockpath, stagevocab,
+// obscomplete) — over the real module and requires zero findings. With this
+// gate in place a shardlint failure in CI is always a regression introduced
+// by the change under review — never pre-existing noise and never flake
+// (the analysis is a pure function of the source tree).
+func TestShardlintCleanOnRepo(t *testing.T) {
+	units := loadRepo(t)
 	diags := analysis.RunPasses(units, analysis.AllPasses())
 	for _, d := range diags {
 		t.Errorf("%s", d)

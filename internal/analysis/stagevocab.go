@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// StageVocab machine-checks the span layer's "stages are a true
+// decomposition of latency" claim (PR 8): every stage name passed to
+// (*obs.Span).Stage is a compile-time constant drawn from the vocabulary
+// internal/obs documents (the Stage* constants, minus the
+// explicitly-not-a-stage compact.interference, plus the documented
+// "store.<op>" form), and literal metric names are well-formed and never
+// registered under two different metric kinds (the same name as both a
+// counter and a histogram renders as two colliding series).
+var StageVocab = &Pass{
+	Name:      "stagevocab",
+	Doc:       "span stage names match the documented obs vocabulary; metric names are consistent",
+	RunModule: runStageVocab,
+}
+
+// storeStageRe is the documented non-constant stage form: "store.<op>".
+var storeStageRe = regexp.MustCompile(`^store\.[a-z_]+$`)
+
+// metricNameRe is the well-formedness rule for metric names: dotted
+// lower-case words, as every existing name follows.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+
+func runStageVocab(p *Program) []Diagnostic {
+	var diags []Diagnostic
+
+	// The vocabulary: string constants named Stage* declared at the top
+	// level of internal/obs. StageInterference documents itself as "not a
+	// stage" — it names the interference histogram — so it is collected but
+	// not legal at a Stage call site.
+	vocab := make(map[string]string) // value -> const name
+	interference := ""
+	for _, u := range p.Units {
+		if u.XTest || u.RelPath() != "internal/obs" {
+			continue
+		}
+		scope := u.Pkg.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !strings.HasPrefix(name, "Stage") {
+				continue
+			}
+			if c.Val().Kind() != constant.String {
+				continue
+			}
+			v := constant.StringVal(c.Val())
+			vocab[v] = name
+			if name == "StageInterference" {
+				interference = v
+			}
+		}
+	}
+
+	type metricReg struct {
+		kind string
+		pos  token.Position
+	}
+	regs := make(map[string][]metricReg) // literal metric name -> registrations
+
+	for _, u := range p.Units {
+		if u.XTest {
+			continue
+		}
+		for _, f := range u.Files {
+			if strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := methodObj(u, sel)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != u.ModulePath+"/internal/obs" {
+					return true
+				}
+				switch fn.Name() {
+				case "Stage":
+					if recvTypeName(fn) != "Span" {
+						return true
+					}
+					arg := call.Args[0]
+					tv, ok := u.Info.Types[arg]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						diags = append(diags, Diagnostic{
+							Pass: "stagevocab",
+							Pos:  u.Fset.Position(arg.Pos()),
+							Message: "span stage name is not a compile-time constant: latency " +
+								"attribution is only auditable over the fixed obs vocabulary",
+						})
+						return true
+					}
+					v := constant.StringVal(tv.Value)
+					switch {
+					case v == interference && interference != "":
+						diags = append(diags, Diagnostic{
+							Pass: "stagevocab",
+							Pos:  u.Fset.Position(arg.Pos()),
+							Message: fmt.Sprintf("%q is the interference histogram, documented as not a stage; "+
+								"recording it as one double-counts compaction overlap", v),
+						})
+					case vocab[v] != "", storeStageRe.MatchString(v):
+						// In vocabulary.
+					default:
+						diags = append(diags, Diagnostic{
+							Pass: "stagevocab",
+							Pos:  u.Fset.Position(arg.Pos()),
+							Message: fmt.Sprintf("stage name %q is not in the documented obs vocabulary "+
+								"(Stage* constants or \"store.<op>\")", v),
+						})
+					}
+				case "Counter", "Gauge", "Histogram":
+					if fn.Type().(*types.Signature).Recv() == nil {
+						return true
+					}
+					arg := call.Args[0]
+					tv, ok := u.Info.Types[arg]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						return true // computed names (e.g. per-op loops) are out of scope
+					}
+					v := constant.StringVal(tv.Value)
+					pos := u.Fset.Position(arg.Pos())
+					if !metricNameRe.MatchString(v) {
+						diags = append(diags, Diagnostic{
+							Pass:    "stagevocab",
+							Pos:     pos,
+							Message: fmt.Sprintf("metric name %q is not well-formed (want dotted lower-case, e.g. \"rpc.requests\")", v),
+						})
+					}
+					regs[v] = append(regs[v], metricReg{kind: strings.ToLower(fn.Name()), pos: pos})
+				}
+				return true
+			})
+		}
+	}
+
+	// Kind collisions: one name under two metric kinds.
+	names := make([]string, 0, len(regs))
+	for name := range regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := regs[name]
+		sort.Slice(rs, func(i, j int) bool {
+			a, b := rs[i].pos, rs[j].pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			return a.Line < b.Line
+		})
+		first := rs[0]
+		for _, r := range rs[1:] {
+			if r.kind != first.kind {
+				diags = append(diags, Diagnostic{
+					Pass: "stagevocab",
+					Pos:  r.pos,
+					Message: fmt.Sprintf("metric %q registered as a %s here but as a %s at %s:%d — "+
+						"one name, two series", name, r.kind, first.kind, shortFile(first.pos.Filename), first.pos.Line),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// recvTypeName returns the name of a method's receiver's named type ("" for
+// plain functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

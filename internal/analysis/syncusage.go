@@ -26,6 +26,9 @@ var instrumentedPkgs = map[string]bool{
 	"internal/scrub":       true,
 	"internal/compact":     true,
 	"internal/obs":         true,
+	"internal/dep":         true,
+	"internal/extent":      true,
+	"internal/disk":        true,
 }
 
 // rawSyncNames are the sync package identifiers with vsync replacements.

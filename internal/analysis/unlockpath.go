@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// UnlockPath checks release discipline intraprocedurally: every vsync lock
+// a function acquires is released on every return and panic path (defer,
+// including deferred closures, honored); no exclusive lock is acquired
+// twice on one path; loop iterations do not accumulate locks; and the
+// release mode matches the acquisition mode (Unlock vs RUnlock). Locks a
+// function releases without acquiring (the *Locked caller-holds
+// convention) carry no intraprocedural obligation and are ignored.
+var UnlockPath = &Pass{
+	Name:      "unlockpath",
+	Doc:       "every acquired vsync lock is released on all return/panic paths",
+	RunModule: runUnlockPath,
+}
+
+func runUnlockPath(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	walkOne := func(fi *FuncInfo) {
+		report := func(pos token.Pos, msg string) {
+			diags = append(diags, Diagnostic{
+				Pass:    "unlockpath",
+				Pos:     fi.Unit.Fset.Position(pos),
+				Message: msg,
+			})
+		}
+		hooks := flowHooks{
+			exit: func(pos token.Pos, kind string, held []heldLock) {
+				for _, h := range held {
+					if h.Deferred {
+						continue
+					}
+					acq := fi.Unit.Fset.Position(h.Pos)
+					certainty := "is"
+					if h.Maybe {
+						certainty = "may be"
+					}
+					report(pos, fmt.Sprintf("%s in %s %s still holding %s (acquired at line %d, no deferred unlock)",
+						kind, fi.Name, certainty, h.Ref.Type, acq.Line))
+				}
+			},
+			reacquire: func(pos token.Pos, ref LockRef, prev heldLock) {
+				prevPos := fi.Unit.Fset.Position(prev.Pos)
+				if prev.Read {
+					report(pos, fmt.Sprintf("%s write-locked while read-held since line %d (upgrade self-deadlock)",
+						ref.Type, prevPos.Line))
+				} else {
+					report(pos, fmt.Sprintf("%s acquired again while already held since line %d (self-deadlock)",
+						ref.Type, prevPos.Line))
+				}
+			},
+			badRelease: func(pos token.Pos, ref LockRef, prev heldLock, read bool) {
+				if read {
+					report(pos, fmt.Sprintf("RUnlock of %s, which is held exclusively", ref.Type))
+				} else {
+					report(pos, fmt.Sprintf("Unlock of %s, which is read-held (want RUnlock)", ref.Type))
+				}
+			},
+			loopRepeat: func(pos token.Pos, leaked []heldLock) {
+				for _, h := range leaked {
+					acq := fi.Unit.Fset.Position(h.Pos)
+					report(pos, fmt.Sprintf("loop iteration ends in %s still holding %s acquired inside the loop (line %d)",
+						fi.Name, h.Ref.Type, acq.Line))
+				}
+			},
+		}
+		walkFunc(p, fi, hooks)
+	}
+	for _, fi := range p.Functions() {
+		if inFlowScope(fi) {
+			walkOne(fi)
+		}
+	}
+	for _, fi := range p.Literals() {
+		if inFlowScope(fi) {
+			walkOne(fi)
+		}
+	}
+	return diags
+}

@@ -1,0 +1,142 @@
+package analysis_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"shardstore/internal/analysis"
+)
+
+// TestWaiverInventory checks the inventory surface itself: well-formed
+// annotations are returned in deterministic order with module-relative
+// positions and their justifications, in the exact line format
+// lint_waivers.txt commits.
+func TestWaiverInventory(t *testing.T) {
+	units, err := analysis.Load(analysis.Config{
+		ModulePath: "shardstore",
+		Overlay: map[string]map[string]string{
+			"shardstore/internal/store": {
+				"fix.go": `package store
+
+func spawn(f func()) {
+	//shardlint:allow syncusage detached worker, joined by the harness
+	go f()
+}
+
+func spawn2(f func()) {
+	go f() //shardlint:allow syncusage fire-and-forget telemetry flush
+}
+
+func spawn3(f func()) {
+	//shardlint:allow nosuchpass malformed: not a waiver
+	go f()
+}
+`,
+			},
+		},
+	}, "shardstore/internal/store")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	ws := analysis.Waivers(units, analysis.AllPasses())
+	got := make([]string, len(ws))
+	for i, w := range ws {
+		got[i] = w.String()
+	}
+	want := []string{
+		"syncusage internal/store/fix.go:4 detached worker, joined by the harness",
+		"syncusage internal/store/fix.go:9 fire-and-forget telemetry flush",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("waiver inventory mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// waiverDrift compares a rendered inventory against the committed one and
+// returns the lines present only in the live tree (fresh, i.e. new waivers
+// not yet justified in lint_waivers.txt) and only in the file (stale).
+func waiverDrift(live, committed []string) (fresh, stale []string) {
+	inFile := make(map[string]bool, len(committed))
+	for _, l := range committed {
+		inFile[l] = true
+	}
+	inLive := make(map[string]bool, len(live))
+	for _, l := range live {
+		inLive[l] = true
+		if !inFile[l] {
+			fresh = append(fresh, l)
+		}
+	}
+	for _, l := range committed {
+		if !inLive[l] {
+			stale = append(stale, l)
+		}
+	}
+	return fresh, stale
+}
+
+// readWaiverFile parses lint_waivers.txt: one Waiver.String() line per
+// waiver, blank lines and #-comments ignored.
+func readWaiverFile(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with: go run ./cmd/shardlint -waivers ./... > lint_waivers.txt)", path, err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// TestWaiverBudgetGate is the waiver-budget gate: the live inventory of
+// //shardlint:allow annotations must match the committed lint_waivers.txt
+// exactly, in both directions. Adding a suppression without updating (and
+// thereby review-surfacing) the inventory fails CI; so does leaving a stale
+// entry behind after the waived code is fixed.
+func TestWaiverBudgetGate(t *testing.T) {
+	units := loadRepo(t)
+	ws := analysis.Waivers(units, analysis.AllPasses())
+	live := make([]string, len(ws))
+	for i, w := range ws {
+		live[i] = w.String()
+	}
+	committed := readWaiverFile(t, "../../lint_waivers.txt")
+
+	fresh, stale := waiverDrift(live, committed)
+	for _, l := range fresh {
+		t.Errorf("new waiver not in lint_waivers.txt: %s", l)
+	}
+	for _, l := range stale {
+		t.Errorf("stale lint_waivers.txt entry (annotation gone): %s", l)
+	}
+	if len(fresh)+len(stale) > 0 {
+		t.Errorf("waiver inventory drifted: regenerate with `go run ./cmd/shardlint -waivers ./... > lint_waivers.txt` and justify the diff in review")
+	}
+}
+
+// TestWaiverBudgetGateCatchesFresh proves the gate actually trips: a
+// synthetic unlisted waiver must register as drift against the committed
+// inventory.
+func TestWaiverBudgetGateCatchesFresh(t *testing.T) {
+	units := loadRepo(t)
+	ws := analysis.Waivers(units, analysis.AllPasses())
+	live := make([]string, len(ws))
+	for i, w := range ws {
+		live[i] = w.String()
+	}
+	committed := readWaiverFile(t, "../../lint_waivers.txt")
+
+	injected := append(append([]string(nil), live...),
+		"syncusage internal/fake/fake.go:1 sneaky unreviewed suppression")
+	fresh, _ := waiverDrift(injected, committed)
+	if len(fresh) != 1 || !strings.Contains(fresh[0], "sneaky") {
+		t.Errorf("gate failed to catch an injected fresh waiver: fresh = %q", fresh)
+	}
+}

@@ -69,6 +69,7 @@ func TestGroupCommitAmortizesSyncs(t *testing.T) {
 	errs := make([]error, writers)
 	deps[0] = s.Write("w0", 1, 0, []byte{0})
 	wg.Add(1)
+	//shardlint:allow syncusage real-scheduler stress test joined by wg.Wait; TestShuttleGroupCommit covers this path under shuttle
 	go func() {
 		defer wg.Done()
 		errs[0] = s.Commit(deps[0], nil)
@@ -81,6 +82,7 @@ func TestGroupCommitAmortizesSyncs(t *testing.T) {
 	for i := 1; i < writers; i++ {
 		i := i
 		wg.Add(1)
+		//shardlint:allow syncusage real-scheduler stress test joined by wg.Wait; TestShuttleGroupCommit covers this path under shuttle
 		go func() {
 			defer wg.Done()
 			errs[i] = s.Commit(deps[i], nil)
@@ -196,10 +198,12 @@ func TestReadsProceedDuringSync(t *testing.T) {
 	defer func() { disk.TestHookPreSync = nil }()
 
 	pumpDone := make(chan error, 1)
+	//shardlint:allow syncusage real-scheduler test joined via pumpDone; exercises a held-open device flush shuttle cannot model
 	go func() { pumpDone <- s.Pump() }()
 	<-entered
 
 	readDone := make(chan error, 1)
+	//shardlint:allow syncusage real-scheduler test joined via readDone with a wall-clock timeout guard
 	go func() {
 		buf := make([]byte, 2)
 		readDone <- s.ReadAt(1, 0, buf)
@@ -245,6 +249,7 @@ func TestCrashDuringSyncNotDurable(t *testing.T) {
 	defer func() { disk.TestHookPreSync = nil }()
 
 	pumpDone := make(chan error, 1)
+	//shardlint:allow syncusage real-scheduler test joined via pumpDone; exercises a crash during a held-open device flush
 	go func() { pumpDone <- s.Pump() }()
 	<-entered
 	s.Crash(rand.New(rand.NewSource(7)))

@@ -23,8 +23,17 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== shardlint ./... (validation-stack soundness: syncusage, determinism, mapiter, droppederr)"
-go run ./cmd/shardlint ./...
+echo "== shardlint ./... (soundness + flow passes: syncusage, determinism, mapiter, droppederr, lockorder, unlockpath, stagevocab, obscomplete)"
+go run ./cmd/shardlint -v ./...
+
+echo "== shardlint waiver budget (inventory must match lint_waivers.txt exactly)"
+live_waivers=$(go run ./cmd/shardlint -waivers ./...)
+committed_waivers=$(grep -v '^#' lint_waivers.txt | sed '/^$/d')
+if ! diff -u <(echo "$committed_waivers") <(echo "$live_waivers"); then
+    echo "waiver inventory drifted from lint_waivers.txt:" >&2
+    echo "regenerate with: go run ./cmd/shardlint -waivers ./... and justify the diff in review" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...

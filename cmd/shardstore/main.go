@@ -227,7 +227,7 @@ func runServer(addr string, disks int, maintenance, scrubInterval time.Duration,
 
 func runClient(addr string, traced bool, args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | mget <id>... | mdel <id>... | list | stats | metrics | trace | slowlog | flush <disk> | scrub <disk> | scrub-status <disk>")
+		fmt.Fprintln(os.Stderr, "client commands: put <id> <value> | get <id> | del <id> | mget <id>... | mdel <id>... | scan [start [end]] | list | stats | metrics | trace | slowlog | flush <disk> | scrub <disk> | scrub-status <disk>")
 		os.Exit(2)
 	}
 	// Every RPC call takes a context; bound the whole CLI interaction so a
@@ -297,6 +297,23 @@ func runClient(addr string, traced bool, args []string) {
 				fmt.Printf("%s: ok\n", args[1+i])
 			}
 		}
+	case "scan":
+		if len(args) > 3 {
+			fail(fmt.Errorf("usage: scan [start [end]]"))
+		}
+		var start, end string
+		if len(args) > 1 {
+			start = args[1]
+		}
+		if len(args) > 2 {
+			end = args[2]
+		}
+		it := c.Iterator(ctx, start, end, 0)
+		for it.Next() {
+			e := it.Entry()
+			fmt.Printf("%s: %s\n", e.Key, e.Value)
+		}
+		fail(it.Err())
 	case "list":
 		ids, err := c.List(ctx)
 		fail(err)

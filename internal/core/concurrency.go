@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 
 	"shardstore/internal/coverage"
 	"shardstore/internal/disk"
@@ -414,6 +415,67 @@ func LinearizabilityHarness(bugs *faults.Set) func() {
 		}}, hist...)
 		if res := linearize.Check(linearize.KVSpec(), seeded); !res.Ok {
 			panic("history not linearizable:\n" + linearize.FormatHistory(hist))
+		}
+	}
+}
+
+// ScanLinearizabilityHarness runs a concurrent scanner against writers while
+// a flush and a full compaction churn the run set underneath — the
+// ordered-map extension of the §6 property. Every scan page must be the
+// ordered snapshot of *some* point in the linearization order: a torn level
+// swap (pre-swap deep levels composed with post-swap L0) yields a page no
+// sequential execution can produce, which the checker rejects.
+func ScanLinearizabilityHarness(bugs *faults.Set) func() {
+	return func() {
+		st := mustStore(concStoreConfig(bugs))
+		must(e2(st.Put("a", []byte("a0"))), "seed")
+		must(e2(st.Put("b", []byte("b0"))), "seed")
+		must(e2(st.FlushIndex()), "seed flush")
+		rec := linearize.NewRecorder()
+
+		doPut := func(client int, key, val string) {
+			done := rec.Begin(client, linearize.KVInput{Op: "put", Key: key, Value: val})
+			_, err := st.Put(key, []byte(val))
+			done(linearize.KVOutput{Found: true, Err: err != nil})
+		}
+		doScan := func(client int) {
+			done := rec.Begin(client, linearize.KVInput{Op: "scan"})
+			entries, more, err := st.Scan("", "", 0)
+			out := linearize.KVOutput{}
+			if err != nil {
+				out.Err = true
+			} else {
+				parts := make([]string, len(entries))
+				for i, e := range entries {
+					parts[i] = e.Key + "=" + string(e.Value)
+				}
+				out.Value = strings.Join(parts, "\x00")
+				out.Found = true
+				out.More = more
+			}
+			done(out)
+		}
+
+		t1 := vsync.Go("writer", func() { doPut(1, "a", "a1"); doPut(1, "c", "c1") })
+		t2 := vsync.Go("churn", func() {
+			must(e2(st.FlushIndex()), "flush")
+			must(st.CompactIndex(), "compact")
+		})
+		t3 := vsync.Go("scanner", func() { doScan(3); doScan(3) })
+		t1.Join()
+		t2.Join()
+		t3.Join()
+
+		hist := rec.History()
+		// Seed the model with the initial mapping via synthetic ops.
+		seeded := append([]linearize.Operation{
+			{Client: 0, Input: linearize.KVInput{Op: "put", Key: "a", Value: "a0"},
+				Output: linearize.KVOutput{Found: true}, Invoke: -4, Return: -3},
+			{Client: 0, Input: linearize.KVInput{Op: "put", Key: "b", Value: "b0"},
+				Output: linearize.KVOutput{Found: true}, Invoke: -2, Return: -1},
+		}, hist...)
+		if res := linearize.Check(linearize.KVSpec(), seeded); !res.Ok {
+			panic("scan history not linearizable:\n" + linearize.FormatHistory(hist))
 		}
 	}
 }

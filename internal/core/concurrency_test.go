@@ -14,14 +14,15 @@ func TestConcurrencyHarnessesCleanBaseline(t *testing.T) {
 		t.Skip("shuttle exploration skipped under -race: its goroutine-handoff scheduler is ~10x slower with the detector and runs one goroutine at a time by construction")
 	}
 	harnesses := map[string]func(*faults.Set) func(){
-		"fig4":  Fig4Harness,
-		"bug11": Bug11Harness,
-		"bug12": Bug12Harness,
-		"bug13": Bug13Harness,
-		"bug14": Bug14Harness,
-		"bug15": Bug15Harness,
-		"bug16": Bug16Harness,
-		"linz":  LinearizabilityHarness,
+		"fig4":     Fig4Harness,
+		"bug11":    Bug11Harness,
+		"bug12":    Bug12Harness,
+		"bug13":    Bug13Harness,
+		"bug14":    Bug14Harness,
+		"bug15":    Bug15Harness,
+		"bug16":    Bug16Harness,
+		"linz":     LinearizabilityHarness,
+		"scanlinz": ScanLinearizabilityHarness,
 	}
 	for name, h := range harnesses {
 		name, h := name, h

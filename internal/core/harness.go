@@ -48,6 +48,11 @@ type Config struct {
 	// durability wait, so the interleaved crash ops explore the window
 	// between the swap being staged and reaching the media.
 	EnableCompaction bool
+	// EnableScan includes Scan in the alphabet: an ordered range read over
+	// [Key, Key2) checked against the model's ordered-map semantics — the
+	// snapshot-consistency property scans must keep while flushes,
+	// compaction steps, crashes, and scrub interleave.
+	EnableScan bool
 	// EnableCorruption includes silent-corruption injection (RotReplica /
 	// RotAll). It arms FaultSilentCorruption in the store's fault set and
 	// defaults StoreConfig.Replicas to 2, so the checked property is the
@@ -348,6 +353,46 @@ func (es *execState) implRead(key string) ([]byte, error) {
 	return nil, err
 }
 
+// implScan adapts OrderedKV.Scan to the model check, retrying through
+// transient injected faults exactly like implRead: they fire once, so an
+// error that survives the retries is conclusive.
+func (es *execState) implScan(start, end string, limit int) ([]store.ScanEntry, bool, error) {
+	okv := es.kv().(store.OrderedKV)
+	var (
+		entries []store.ScanEntry
+		more    bool
+		err     error
+	)
+	for attempt := 0; attempt < 4; attempt++ {
+		pending := es.outstanding() > 0
+		entries, more, err = okv.Scan(start, end, limit)
+		if err == nil {
+			return entries, more, nil
+		}
+		if !pending {
+			return nil, false, err
+		}
+	}
+	return nil, false, err
+}
+
+// rangeRotted reports whether any model key in [start, end) may still hold
+// its rotted-era entry. A scan reads every in-range shard's data, so one
+// fully rotted shard is allowed to fail the whole page — the same "fail by
+// returning no data, never the wrong data" license CheckRead grants point
+// reads.
+func (es *execState) rangeRotted(start, end string) bool {
+	for _, k := range es.ref.Keys() {
+		if k < start || (end != "" && k >= end) {
+			continue
+		}
+		if es.ref.Rotted(k) {
+			return true
+		}
+	}
+	return false
+}
+
 // benignResourceErr reports whether err is resource exhaustion (disk full).
 // The paper explicitly excludes resource exhaustion from property-based
 // testing because there is no tractable correctness oracle for it (§4.4);
@@ -500,6 +545,42 @@ func (es *execState) apply(op Op) error {
 		// what verify the rewrite preserved every entry.
 		_, err := es.st.CompactStep()
 		return es.opFailure("CompactStep", err)
+
+	case OpScan:
+		okv, ordered := es.kv().(store.OrderedKV)
+		if !ordered {
+			return nil // point-only backends don't owe ordered-map semantics
+		}
+		if !es.inService {
+			return es.expectOutOfService(func() error {
+				_, _, err := okv.Scan(op.Key, op.Key2, op.Extent)
+				return err
+			})
+		}
+		entries, more, err := es.implScan(op.Key, op.Key2, op.Extent)
+		if err != nil {
+			if es.rangeRotted(op.Key, op.Key2) {
+				return nil
+			}
+			// Like a point read, a persistent scan failure with no rot in
+			// range means data is gone or corrupt — never forgiven.
+			return fmt.Errorf("Scan of [%q, %q) failed persistently: %w", op.Key, op.Key2, err)
+		}
+		keys := make([]string, len(entries))
+		values := make([][]byte, len(entries))
+		for i, e := range entries {
+			keys[i] = e.Key
+			values[i] = e.Value
+		}
+		if cerr := es.ref.CheckScan(op.Key, op.Key2, op.Extent, keys, values, more); cerr != nil {
+			return cerr
+		}
+		if es.ref.HasFailed() {
+			for i := range keys {
+				es.ref.ResolveMaybe(keys[i], values[i])
+			}
+		}
+		return nil
 
 	case OpReclaim:
 		if !es.inService {

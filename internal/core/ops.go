@@ -74,6 +74,12 @@ const (
 	// own scheduling ops decide when the swap reaches the media, which is
 	// exactly the window the crash-consistency check must explore.
 	OpCompactStep
+	// OpScan runs an ordered range scan [Key, Key2) bounded by Extent (the
+	// page limit; 0 = unbounded) and checks the page against the model's
+	// ordered-map semantics: ascending order, newest value per key, no
+	// phantom or missing shards — interleaved with flushes, compaction
+	// steps, crashes, and scrub, which is where torn level swaps would show.
+	OpScan
 
 	numOpKinds
 )
@@ -101,6 +107,7 @@ var opNames = map[OpKind]string{
 	OpRotAll:          "RotAll",
 	OpPutDurable:      "PutDurable",
 	OpCompactStep:     "CompactStep",
+	OpScan:            "Scan",
 }
 
 func (k OpKind) String() string {
@@ -157,8 +164,10 @@ func (f RebootFlags) String() string {
 // the store's internal RNG, CrashSeed drives the crash tearing), so replay
 // and minimization are fully deterministic (§4.3).
 type Op struct {
-	Kind      OpKind
-	Key       string
+	Kind OpKind
+	Key  string
+	// Key2 is the exclusive upper bound for OpScan ("" = unbounded).
+	Key2      string
 	Value     []byte
 	Extent    int
 	Flags     RebootFlags
@@ -178,6 +187,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s(%q, piece %d)", o.Kind, o.Key, o.Extent)
 	case OpDirtyReboot:
 		return fmt.Sprintf("DirtyReboot(%s)", o.Flags)
+	case OpScan:
+		return fmt.Sprintf("Scan(%q..%q, limit %d)", o.Key, o.Key2, o.Extent)
 	default:
 		return o.Kind.String()
 	}
@@ -249,6 +260,9 @@ func opWeights(cfg Config) map[OpKind]int {
 	}
 	if cfg.EnableCompaction {
 		w[OpCompactStep] = 5
+	}
+	if cfg.EnableScan {
+		w[OpScan] = 8
 	}
 	if cfg.EnableCorruption {
 		w[OpRotReplica] = 6
@@ -325,6 +339,25 @@ func genOp(r *rand.Rand, cfg Config, st *genState, kind OpKind) Op {
 		// no-op); Extent picks the piece within the shard at execution time.
 		op.Key = genKey(r, cfg.Bias, st, false)
 		op.Extent = r.Intn(4)
+	case OpScan:
+		// Range bounds over the small key space: mostly proper sub-ranges,
+		// sometimes unbounded on either side; limit exercises pagination.
+		lo, hi := r.Intn(16), r.Intn(16)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		op.Key = fmt.Sprintf("k%02d", lo)
+		if r.Intn(4) == 0 {
+			op.Key = "" // unbounded start
+		}
+		if r.Intn(3) == 0 {
+			op.Key2 = "" // unbounded end
+		} else {
+			op.Key2 = fmt.Sprintf("k%02d", hi+1)
+		}
+		if r.Intn(2) == 0 {
+			op.Extent = 1 + r.Intn(6) // page limit; 0 = unbounded
+		}
 	}
 	return op
 }

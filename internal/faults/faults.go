@@ -87,6 +87,14 @@ const (
 	// never reached the media, and the index entries it carried are gone.
 	FaultCompactStaleManifest
 
+	// FaultScanTornLevelSwap seeds a scan-path defect: the iterator snapshot
+	// skips the manifest-generation re-check, so a scan that overlaps a
+	// leveled compaction composes its view from the pre-swap deep levels and
+	// the post-swap L0 — a torn level set. Keys whose newest version moved
+	// across the swap boundary vanish from (or resurrect in) scan results
+	// even though point gets still see them.
+	FaultScanTornLevelSwap
+
 	numBugs
 )
 
@@ -169,6 +177,8 @@ func (b Bug) String() string {
 		return "fault(group-commit-torn-barrier)"
 	case FaultCompactStaleManifest:
 		return "fault(compact-stale-manifest)"
+	case FaultScanTornLevelSwap:
+		return "fault(scan-torn-level-swap)"
 	}
 	return fmt.Sprintf("bug#%d", int(b))
 }

@@ -164,25 +164,36 @@ func FormatHistory(ops []Operation) string {
 
 // --- A ready-made spec for key-value stores ---
 
-// KVInput is a put/get/delete call on a key-value store.
+// KVInput is a put/get/delete/scan call on a key-value store. Scan reads the
+// ordered range [Key, End) bounded by Limit (0 = unbounded; empty End
+// unbounded), the cursor contract of store.OrderedKV.
 type KVInput struct {
-	Op    string // "put", "get", "delete"
+	Op    string // "put", "get", "delete", "scan"
 	Key   string
 	Value string
+	End   string
+	Limit int
 }
 
 func (in KVInput) String() string {
-	if in.Op == "put" {
+	switch in.Op {
+	case "put":
 		return fmt.Sprintf("put(%s=%s)", in.Key, in.Value)
+	case "scan":
+		return fmt.Sprintf("scan([%s..%s), limit %d)", in.Key, in.End, in.Limit)
+	default:
+		return fmt.Sprintf("%s(%s)", in.Op, in.Key)
 	}
-	return fmt.Sprintf("%s(%s)", in.Op, in.Key)
 }
 
-// KVOutput is the observed result: for gets, the value or absence.
+// KVOutput is the observed result: for gets, the value or absence; for
+// scans, the page rendered as sorted "k=v" pairs joined by NUL, plus the
+// continuation flag.
 type KVOutput struct {
 	Value string
 	Found bool
 	Err   bool
+	More  bool
 }
 
 func (out KVOutput) String() string {
@@ -239,6 +250,25 @@ func KVSpec() Spec {
 			case "delete":
 				delete(m, in.Key)
 				return KVOutput{Found: false}, kvState{repr: render(m)}
+			case "scan":
+				keys := make([]string, 0, len(m))
+				for k := range m {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				var page []string
+				more := false
+				for _, k := range keys {
+					if k < in.Key || (in.End != "" && k >= in.End) {
+						continue
+					}
+					if in.Limit > 0 && len(page) >= in.Limit {
+						more = true
+						break
+					}
+					page = append(page, k+"="+m[k])
+				}
+				return KVOutput{Value: strings.Join(page, "\x00"), Found: true, More: more}, st
 			default: // get
 				v, ok := m[in.Key]
 				return KVOutput{Value: v, Found: ok}, st
@@ -250,7 +280,7 @@ func KVSpec() Spec {
 			if ao.Err {
 				return false // failed operations are never linearizable here
 			}
-			if mo.Found != ao.Found {
+			if mo.Found != ao.Found || mo.More != ao.More {
 				return false
 			}
 			return !mo.Found || mo.Value == ao.Value

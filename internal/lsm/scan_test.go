@@ -1,0 +1,245 @@
+package lsm_test
+
+// Ordered-scan tests over the reference mocks: the composed per-level model
+// (model.RefLevels, which gained the same Scan signature) runs in lockstep
+// with the production tree through randomized structural histories, and every
+// step compares full range scans, sub-ranges, and paginated cursor walks.
+// The seeded FaultScanTornLevelSwap view is pinned down here too: armed, a
+// scan overlapping a level swap drops keys that point gets still serve;
+// disarmed, the fault path is provably dead (no stale run list is ever
+// captured).
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"shardstore/internal/compact"
+	"shardstore/internal/faults"
+	"shardstore/internal/lsm"
+	"shardstore/internal/model"
+)
+
+func newScanTree(t *testing.T, bugs *faults.Set) (*lsm.Tree, *model.RefChunkStore) {
+	t.Helper()
+	cs := model.NewRefChunkStore(bugs)
+	ms := model.NewRefMetaStore()
+	tree, err := lsm.NewTree(cs, ms, model.ResolvedFutures{}, lsm.Config{MaxRuns: 64}, nil, bugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, cs
+}
+
+func checkScanLockstep(t *testing.T, step string, tree *lsm.Tree, ref *model.RefLevels, start, end string, limit int) {
+	t.Helper()
+	got, gotMore, err := tree.Scan(start, end, limit)
+	if err != nil {
+		t.Fatalf("%s: tree.Scan(%q, %q, %d): %v", step, start, end, limit, err)
+	}
+	want, wantMore, err := ref.Scan(start, end, limit)
+	if err != nil {
+		t.Fatalf("%s: ref.Scan: %v", step, err)
+	}
+	if gotMore != wantMore {
+		t.Fatalf("%s: Scan(%q, %q, %d) more: tree=%v model=%v", step, start, end, limit, gotMore, wantMore)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: Scan(%q, %q, %d): tree %d entries, model %d", step, start, end, limit, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("%s: Scan(%q, %q, %d) entry %d: tree %q=%x model %q=%x",
+				step, start, end, limit, i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+}
+
+// TestScanLockstepRandomOps drives the tree and the composed reference model
+// through identical randomized histories (puts, deletes, flushes, L0
+// promotions, deep pushes, full compactions) and after every step compares
+// ordered scans: the unbounded scan, random sub-ranges, and limited pages.
+func TestScanLockstepRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			bugs := faults.NewSet()
+			tree, _ := newScanTree(t, bugs)
+			ref := model.NewRefLevels()
+			rng := rand.New(rand.NewSource(seed))
+			keys := make([]string, 12)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%02d", i)
+			}
+			for step := 0; step < 120; step++ {
+				k := keys[rng.Intn(len(keys))]
+				label := fmt.Sprintf("step %d", step)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					v := []byte{byte(step), byte(rng.Intn(256))}
+					if _, err := tree.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+					_, _ = ref.Put(k, v)
+				case 4:
+					if _, err := tree.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					_, _ = ref.Delete(k)
+				case 5, 6:
+					if _, err := tree.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					_, _ = ref.Flush()
+				case 7:
+					in := levelSeqs(tree, 0, 1)
+					if len(in) == 0 {
+						continue
+					}
+					if _, err := tree.ApplyPlan(compact.Plan{Inputs: in, OutLevel: 1}); err != nil {
+						t.Fatal(err)
+					}
+					ref.PromoteL0()
+				case 8:
+					lv := 1 + rng.Intn(lsm.MaxLevels-1)
+					if len(levelSeqs(tree, lv)) == 0 {
+						continue
+					}
+					in := levelSeqs(tree, lv, lv+1)
+					if _, err := tree.ApplyPlan(compact.Plan{Inputs: in, OutLevel: lv + 1}); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Promote(lv); err != nil {
+						t.Fatal(err)
+					}
+				case 9:
+					if err := tree.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					_ = ref.Compact()
+				}
+				checkScanLockstep(t, label, tree, ref, "", "", 0)
+				lo, hi := rng.Intn(len(keys)), rng.Intn(len(keys))
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				checkScanLockstep(t, label, tree, ref, keys[lo], keys[hi], 0)
+				checkScanLockstep(t, label, tree, ref, keys[lo], "", 1+rng.Intn(4))
+			}
+		})
+	}
+}
+
+// TestScanCursorWalk checks the pagination contract: walking the key space
+// one bounded page at a time, resuming each page with start = lastKey+"\x00",
+// visits exactly the full unbounded scan in order, and the final page reports
+// more=false.
+func TestScanCursorWalk(t *testing.T) {
+	bugs := faults.NewSet()
+	tree, _ := newScanTree(t, bugs)
+	for i := 0; i < 9; i++ {
+		if _, err := tree.Put(fmt.Sprintf("k%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 2 {
+			if _, err := tree.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := tree.Delete("k04"); err != nil {
+		t.Fatal(err)
+	}
+	full, more, err := tree.Scan("", "", 0)
+	if err != nil || more {
+		t.Fatalf("full scan: err=%v more=%v", err, more)
+	}
+	if len(full) != 8 {
+		t.Fatalf("full scan: %d entries, want 8 (tombstone elided)", len(full))
+	}
+	var walked []lsm.Entry
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 10 {
+			t.Fatal("cursor walk did not terminate")
+		}
+		page, pageMore, err := tree.Scan(cursor, "", 3)
+		if err != nil {
+			t.Fatalf("page from %q: %v", cursor, err)
+		}
+		walked = append(walked, page...)
+		if !pageMore {
+			break
+		}
+		if len(page) != 3 {
+			t.Fatalf("page from %q: more=true with %d entries, want limit 3", cursor, len(page))
+		}
+		cursor = page[len(page)-1].Key + "\x00"
+	}
+	if len(walked) != len(full) {
+		t.Fatalf("cursor walk visited %d entries, full scan %d", len(walked), len(full))
+	}
+	for i := range full {
+		if walked[i].Key != full[i].Key || !bytes.Equal(walked[i].Value, full[i].Value) {
+			t.Fatalf("cursor walk entry %d: %q=%x, want %q=%x",
+				i, walked[i].Key, walked[i].Value, full[i].Key, full[i].Value)
+		}
+	}
+}
+
+// TestScanTornLevelSwapFault pins the seeded defect's observable effect: with
+// the fault armed, a scan issued after a level swap composes its deep levels
+// from the pre-swap run list, so a key whose newest version moved across the
+// swap vanishes from scan results while point gets still serve it.
+func TestScanTornLevelSwapFault(t *testing.T) {
+	bugs := faults.NewSet(faults.FaultScanTornLevelSwap)
+	tree, _ := newScanTree(t, bugs)
+	if _, err := tree.Put("k01", []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.ApplyPlan(compact.Plan{Inputs: levelSeqs(tree, 0), OutLevel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Point reads are unaffected — the defect is scan-only.
+	if v, err := tree.Get("k01"); err != nil || !bytes.Equal(v, []byte("moved")) {
+		t.Fatalf("Get after swap: %x, %v", v, err)
+	}
+	got, _, err := tree.Scan("", "", 0)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, e := range got {
+		if e.Key == "k01" {
+			t.Fatalf("fault armed: scan still sees k01 after the swap (torn view not composed)")
+		}
+	}
+}
+
+// TestScanFaultPathDeadWhenDisarmed is the honesty check at the unit level:
+// with the fault disarmed the identical history yields a scan that agrees
+// with point reads — the stale run list is never captured, so the fault
+// branch is unreachable.
+func TestScanFaultPathDeadWhenDisarmed(t *testing.T) {
+	bugs := faults.NewSet()
+	tree, _ := newScanTree(t, bugs)
+	if _, err := tree.Put("k01", []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.ApplyPlan(compact.Plan{Inputs: levelSeqs(tree, 0), OutLevel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tree.Scan("", "", 0)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != 1 || got[0].Key != "k01" || !bytes.Equal(got[0].Value, []byte("moved")) {
+		t.Fatalf("scan after swap: %v", got)
+	}
+}

@@ -76,11 +76,14 @@ type treeMetrics struct {
 	runLoads    *obs.Counter
 	gets        *obs.Counter
 	runsProbed  *obs.Counter
+	scans       *obs.Counter
+	scanEntries *obs.Counter
 	memEntries  *obs.Gauge
 	runCount    *obs.Gauge
 	levels      *obs.Gauge
 	flushDur    *obs.Histogram
 	compactDur  *obs.Histogram
+	scanLat     *obs.Histogram
 }
 
 func newTreeMetrics(o *obs.Obs) treeMetrics {
@@ -90,11 +93,14 @@ func newTreeMetrics(o *obs.Obs) treeMetrics {
 		runLoads:    o.Counter("lsm.run_loads"),
 		gets:        o.Counter("lsm.gets"),
 		runsProbed:  o.Counter("lsm.runs_probed"),
+		scans:       o.Counter("lsm.scans"),
+		scanEntries: o.Counter("lsm.scan_entries"),
 		memEntries:  o.Gauge("lsm.mem_entries"),
 		runCount:    o.Gauge("lsm.runs"),
 		levels:      o.Gauge("lsm.levels"),
 		flushDur:    o.Histogram("lsm.flush_dur"),
 		compactDur:  o.Histogram("lsm.compact_dur"),
+		scanLat:     o.Histogram("lsm.scan_lat"),
 	}
 }
 
@@ -152,8 +158,12 @@ type Tree struct {
 	runs        []runRef    // read-precedence order: L0 newest first, then ascending levels
 	runSeq      uint64
 	manifestGen uint64
-	runCache    map[chunk.Locator][]Entry
-	lastFlush   *dep.Dependency
+	// staleRuns is the pre-swap run list captured at the last leveled swap,
+	// recorded only while FaultScanTornLevelSwap is armed: the seeded defect
+	// composes a scan view from these deep levels plus the current L0.
+	staleRuns []runRef
+	runCache  map[chunk.Locator][]Entry
+	lastFlush *dep.Dependency
 }
 
 // FutureFactory creates unbound dependencies; satisfied by *dep.Scheduler.

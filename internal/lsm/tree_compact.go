@@ -181,6 +181,11 @@ func (t *Tree) applyPlanLocked(p compact.Plan) (compact.Result, error) {
 	if !inserted {
 		newRuns = append(newRuns, out)
 	}
+	if t.bugs.Enabled(faults.FaultScanTornLevelSwap) {
+		// Seeded fault state: remember the pre-swap run list so the scan
+		// path can compose its torn mid-swap view (see scan.go).
+		t.staleRuns = append([]runRef(nil), t.runs...)
+	}
 	t.runs = newRuns
 	if hasOut {
 		t.runCache[out.loc] = merged

@@ -211,6 +211,33 @@ func (r *RefLevels) Compact() error {
 	return nil
 }
 
+// Scan mirrors the tree's ordered-map read: the live entries in [start, end)
+// in ascending key order, newest version per key, tombstones elided, bounded
+// by limit (<= 0 unbounded; empty end unbounded). Because the model is an
+// ordinary composed map, the result is trivially a point-in-time snapshot —
+// the property the tree's generation-pinned iterator must match.
+func (r *RefLevels) Scan(start, end string, limit int) ([]lsm.Entry, bool, error) {
+	keys, err := r.Keys()
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]lsm.Entry, 0)
+	for _, k := range keys {
+		if k < start {
+			continue
+		}
+		if end != "" && k >= end {
+			break
+		}
+		if limit > 0 && len(out) >= limit {
+			return out, true, nil
+		}
+		c, _ := r.lookup(k)
+		out = append(out, lsm.Entry{Key: k, Value: append([]byte(nil), c.value...)})
+	}
+	return out, false, nil
+}
+
 // L0Count returns the number of modeled L0 runs.
 func (r *RefLevels) L0Count() int { return len(r.l0) }
 

@@ -233,6 +233,65 @@ func (r *RefStore) CheckRead(key string, got []byte, gotErr bool) error {
 	return fmt.Errorf("model: read of %q returned %s, allowed %s", key, fmtVal(got), fmtVals(allowed))
 }
 
+// CheckScan validates one ordered-scan page against the model. keys/values
+// are the page the implementation returned for Scan(start, end, limit); more
+// is its continuation flag. The page must be strictly ascending, confined to
+// [start, end), within limit, and per-key consistent: every observed value
+// must be an allowed value for its key (phantoms — keys the model says must
+// be absent — fail here too), and every key the model says must be present
+// in the range must appear. When more is true the page is an honest prefix:
+// completeness is only required up to the last returned key.
+func (r *RefStore) CheckScan(start, end string, limit int, keys []string, values [][]byte, more bool) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("model: scan returned %d keys but %d values", len(keys), len(values))
+	}
+	if limit > 0 && len(keys) > limit {
+		return fmt.Errorf("model: scan returned %d entries, limit %d", len(keys), limit)
+	}
+	if more && (limit <= 0 || len(keys) != limit) {
+		return fmt.Errorf("model: scan reported more with %d entries under limit %d", len(keys), limit)
+	}
+	for i, k := range keys {
+		if i > 0 && keys[i-1] >= k {
+			return fmt.Errorf("model: scan keys out of order: %q then %q", keys[i-1], k)
+		}
+		if k < start || (end != "" && k >= end) {
+			return fmt.Errorf("model: scan key %q outside range [%q, %q)", k, start, end)
+		}
+		allowed := r.Expected(k)
+		match := false
+		for _, v := range allowed {
+			if v != nil && bytes.Equal(v, values[i]) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return fmt.Errorf("model: scan of [%q, %q) returned %q=%s, allowed %s",
+				start, end, k, fmtVal(values[i]), fmtVals(allowed))
+		}
+	}
+	// Completeness: every mandatory in-range key must appear. A truncated
+	// page (more) only vouches for the prefix up to its last key.
+	horizon := end
+	if more {
+		horizon = keys[len(keys)-1] + "\x00"
+	}
+	got := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		got[k] = true
+	}
+	for _, k := range r.Keys() {
+		if k < start || (horizon != "" && k >= horizon) {
+			continue
+		}
+		if _, present := r.MustBePresent(k); present && !got[k] {
+			return fmt.Errorf("model: scan of [%q, %q) missing mandatory key %q", start, end, k)
+		}
+	}
+	return nil
+}
+
 // AdoptDirtyReboot reconciles the model with the implementation after a
 // crash + recovery (§5's persistence check). read is the implementation's
 // post-recovery read for a key (nil = absent, err for IO failure). It

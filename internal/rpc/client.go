@@ -7,9 +7,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"shardstore/internal/obs"
+	"shardstore/internal/store"
 )
 
 // Client is the v2 pipelined client. It is safe for concurrent use and —
@@ -39,8 +39,6 @@ type Client struct {
 	pending map[uint64]*Call
 	nextID  uint64
 	err     error // set once the demux loop exits; sticky
-
-	defTimeout atomic.Int64 // SetTimeout shim (nanoseconds)
 
 	// tracing marks every subsequent request frame with flagTraced, asking
 	// the server to trace it end-to-end under the frame's request id. A
@@ -115,26 +113,12 @@ func (c *Client) writeLoop() {
 	}
 }
 
-// SetTimeout bounds each subsequent call that arrives without its own
-// deadline, by deriving a per-call context. A timed-out call abandons its
-// request id — the demux loop discards the late response — so the
-// connection SURVIVES and other calls proceed untouched (the v1 client's
-// documented "connection is broken after a timeout" wart is gone).
-//
-// Deprecated: pass a context with a deadline per call instead.
-func (c *Client) SetTimeout(d time.Duration) { c.defTimeout.Store(int64(d)) }
-
-// callCtx applies the SetTimeout shim to calls without their own deadline.
-func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if _, has := ctx.Deadline(); has {
-		return ctx, func() {}
-	}
-	d := time.Duration(c.defTimeout.Load())
-	if d <= 0 {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, d)
-}
+// Deadlines and cancellation are the caller's context's job — every call
+// takes a context.Context and there is no client-level timeout knob. A
+// timed-out or cancelled call abandons its request id (the demux loop
+// discards the late response), so the connection SURVIVES and other calls
+// proceed untouched. The legacy lock-step client keeps its documented
+// ClientV1.SetTimeout for v1 compatibility.
 
 // demux is the response loop: one reader per connection, routing frames to
 // pending calls by request id. Responses for abandoned ids (cancelled or
@@ -266,8 +250,6 @@ func (call *Call) waitResp(ctx context.Context) (*wireResp, error) {
 	if call.err != nil {
 		return nil, call.err
 	}
-	ctx, cancel := call.c.callCtx(ctx)
-	defer cancel()
 	select {
 	case p, ok := <-call.ch:
 		if !ok {
@@ -433,6 +415,82 @@ func (c *Client) MDelete(ctx context.Context, shardIDs []string) ([]error, error
 	}
 	return itemErrs(p.itemCodes), nil
 }
+
+// Scan fetches one ordered page of the range [start, end): live shards in
+// ascending byte order, newest value each, end "" unbounded, limit 0 letting
+// the server pick its page cap. next is the continuation token: "" means the
+// range is exhausted; otherwise pass it as the next call's start to resume
+// the cursor. Fails with ErrUnsupported when any backend lacks the
+// ordered-map capability.
+func (c *Client) Scan(ctx context.Context, start, end string, limit int) (entries []store.ScanEntry, next string, err error) {
+	p, err := c.roundTrip(ctx, &wireReq{op: opScan, key: start, end: end, limit: limit})
+	if err != nil {
+		return nil, "", err
+	}
+	entries = make([]store.ScanEntry, len(p.keys))
+	for i, k := range p.keys {
+		v := p.values[i]
+		if v == nil {
+			v = []byte{}
+		}
+		entries[i] = store.ScanEntry{Key: k, Value: v}
+	}
+	return entries, p.next, nil
+}
+
+// Iterator streams the ordered range [start, end), fetching pages of up to
+// pageSize entries (0 = server's cap) and refetching transparently via
+// continuation tokens, so callers see one seamless cursor regardless of how
+// the server paginates under its frame cap.
+type Iterator struct {
+	c        *Client
+	ctx      context.Context
+	end      string
+	pageSize int
+	cursor   string
+	buf      []store.ScanEntry
+	i        int
+	done     bool
+	err      error
+}
+
+// Iterator starts a streaming scan of [start, end).
+func (c *Client) Iterator(ctx context.Context, start, end string, pageSize int) *Iterator {
+	return &Iterator{c: c, ctx: ctx, end: end, pageSize: pageSize, cursor: start}
+}
+
+// Next advances to the next entry, fetching the next page when the buffered
+// one is spent. It returns false at the end of the range or on error (check
+// Err to tell the two apart).
+func (it *Iterator) Next() bool {
+	for {
+		if it.err != nil {
+			return false
+		}
+		if it.i < len(it.buf) {
+			it.i++
+			return true
+		}
+		if it.done {
+			return false
+		}
+		entries, next, err := it.c.Scan(it.ctx, it.cursor, it.end, it.pageSize)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.buf, it.i = entries, 0
+		it.cursor = next
+		it.done = next == ""
+		// An empty non-final page still advanced the cursor; refetch.
+	}
+}
+
+// Entry returns the current entry (valid after a true Next).
+func (it *Iterator) Entry() store.ScanEntry { return it.buf[it.i-1] }
+
+// Err returns the terminal error, if Next stopped on one.
+func (it *Iterator) Err() error { return it.err }
 
 // --- control plane ---
 

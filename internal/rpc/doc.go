@@ -1,10 +1,10 @@
 // Package rpc implements ShardStore's shared RPC interface (§2.1 of the
 // paper): storage hosts run an independent key-value store per disk, and a
 // shared endpoint "steers requests to target disks based on shard IDs". The
-// interface offers the request-plane calls (put, get, delete, and their
-// batched mget/mput/mdelete forms) and control-plane operations (list, bulk
-// create/remove, remove/return a disk from service, flush, scrub, stats,
-// metrics).
+// interface offers the request-plane calls (put, get, delete, the batched
+// mget/mput/mdelete forms, and the ordered-range scan) and control-plane
+// operations (list, bulk create/remove, remove/return a disk from service,
+// flush, scrub, stats, metrics).
 //
 // # Wire contract (v2)
 //
@@ -19,7 +19,7 @@
 //	                          bulk_remove=6 remove_disk=7 return_disk=8
 //	                          flush=9 stats=10 scrub=11 scrub_status=12
 //	                          metrics=13 mget=14 mput=15 mdelete=16
-//	                          trace=17 slowlog=18)
+//	                          trace=17 slowlog=18 scan=19)
 //	3       1     flags      bit 0 (0x01): durable — acknowledge the
 //	                          mutation only once persistent (group commit).
 //	                          bit 1 (0x02): traced — trace this request
@@ -69,6 +69,51 @@
 // the sentinel per code — never against message text, which is not part of
 // the contract.
 //
+// # Scan (opcode 19)
+//
+// scan reads one ordered page of the half-open range [start, end): live
+// shard ids in ascending byte order, the newest value for each, deleted
+// shards elided. The request payload is
+//
+//	str(start) str(end) u32(limit)
+//
+// where end "" means unbounded above and limit 0 lets the server choose its
+// page cap (the server clamps every page to its cap regardless). The
+// success response payload is
+//
+//	u32(count) (str(key) bytes(value))* str(next)
+//
+// next is the continuation token: "" means the range is exhausted;
+// otherwise the client resumes the cursor by reissuing the scan with
+// start = next (the token is last returned key + "\x00", so the cursor
+// always advances — a scan can never loop). Pages are bounded by the
+// limit, the server's page cap, and a byte budget that keeps response
+// frames under MaxFrame even with large values, so a client must always be
+// prepared to follow the token; the Iterator type does so transparently.
+//
+// A range spans the whole steering space, so the server scans every
+// in-service backend and merges the ordered per-disk pages (shard ids steer
+// to exactly one disk, making the pages disjoint). Each per-disk page is a
+// point-in-time snapshot of that backend — entries within one disk's page
+// are mutually consistent, while the cross-disk merge is only as atomic as
+// the constituent snapshots. Out-of-service disks drop out of the merge,
+// like list. If any backend lacks the ordered-map capability
+// (store.OrderedKV) the whole op fails with code 7 (unsupported): there is
+// no sound point-read fallback for an ordered range.
+//
+// # Capability probes
+//
+// The server accepts any store.KV backend; richer behavior is negotiated
+// per backend by interface probe, and every missing capability answers the
+// SAME wire code 7 / ErrUnsupported so clients need exactly one check:
+//
+//	store.OrderedKV  scan (request plane; no fallback)
+//	store.BatchKV    mget/mput/mdelete fast path (falls back to per-item
+//	                 KV calls — never unsupported)
+//	durability       flagDurable on put/mput (per-item code 7 on mput)
+//	scrubber, service control, flush, stats columns: control plane probes
+//
+
 // # v1 compatibility
 //
 // The legacy protocol (length-prefixed JSON frames, one lock-step

@@ -128,8 +128,8 @@ func TestPerCallCancellation(t *testing.T) {
 	}
 }
 
-// TestTimeoutConnectionSurvives: the deprecated SetTimeout shim derives a
-// per-call deadline; a timed-out call abandons its request id and the SAME
+// TestTimeoutConnectionSurvives: a per-call context deadline is the only
+// timeout mechanism; a timed-out call abandons its request id and the SAME
 // client keeps working (the v1 "connection is broken after timeout" wart).
 func TestTimeoutConnectionSurvives(t *testing.T) {
 	ctx := context.Background()
@@ -139,9 +139,10 @@ func TestTimeoutConnectionSurvives(t *testing.T) {
 	if err := c.Put(ctx, "stalled", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	c.SetTimeout(50 * time.Millisecond)
+	tctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
 	start := time.Now() //shardlint:allow determinism wall-clock upper bound on client timeout, not a replayed path
-	_, err := c.Get(ctx, "stalled")
+	_, err := c.Get(tctx, "stalled")
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("stalled call: %v", err)
 	}
@@ -149,8 +150,7 @@ func TestTimeoutConnectionSurvives(t *testing.T) {
 		t.Fatalf("timeout took %v", elapsed)
 	}
 
-	// Same connection, next call: healthy.
-	c.SetTimeout(0)
+	// Same connection, next call (no deadline): healthy.
 	if err := c.Put(ctx, "fine", []byte("v2")); err != nil {
 		t.Fatalf("connection did not survive the timeout: %v", err)
 	}

@@ -39,10 +39,11 @@ const (
 	opMDelete     Opcode = 16
 	opTrace       Opcode = 17
 	opSlowLog     Opcode = 18
+	opScan        Opcode = 19
 
 	// opMax is the highest assigned opcode (per-op metric handles are
 	// resolved for every opcode up to it).
-	opMax = opSlowLog
+	opMax = opScan
 )
 
 // opName maps opcodes to the v1 op strings (metric names, traces, errors).
@@ -84,6 +85,8 @@ func opName(op Opcode) string {
 		return "trace"
 	case opSlowLog:
 		return "slowlog"
+	case opScan:
+		return "scan"
 	default:
 		return fmt.Sprintf("op_%d", uint8(op))
 	}

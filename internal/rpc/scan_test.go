@@ -1,0 +1,377 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"shardstore/internal/faults"
+	"shardstore/internal/store"
+)
+
+// newKVOnlyServer serves a bare store.KV backend: no ordered-map, batch,
+// durability, scrub, or service-state capabilities.
+func newKVOnlyServer(tb testing.TB) *Client {
+	tb.Helper()
+	st, _, err := store.New(store.Config{Seed: 1, Bugs: faults.NewSet()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := NewServerKV([]store.KV{minimalKV{KV: st}})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(srv.Close)
+	c, err := Dial(addr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestScanOverRPC: a scan merges every disk's ordered page into one sorted,
+// complete range — across memtable and flushed state, shrinking on delete.
+func TestScanOverRPC(t *testing.T) {
+	ctx := context.Background()
+	srv, c := newTestServer(t, 3)
+	want := make(map[string]string)
+	for i := 0; i < 30; i++ {
+		k, v := fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i)
+		if err := c.Put(ctx, k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	// Flush every disk mid-history so the scan spans flushed runs AND the
+	// memtable writes that follow.
+	for i := range srv.stats().ShardsPer {
+		if err := c.Flush(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 30; i < 40; i++ {
+		k, v := fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i)
+		if err := c.Put(ctx, k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+
+	entries, next, err := c.Scan(ctx, "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != "" {
+		t.Fatalf("full scan truncated, next %q", next)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("full scan: %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if i > 0 && entries[i-1].Key >= e.Key {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, entries[i-1].Key, e.Key)
+		}
+		if want[e.Key] != string(e.Value) {
+			t.Fatalf("scan %q = %q, want %q", e.Key, e.Value, want[e.Key])
+		}
+	}
+
+	sub, _, err := c.Scan(ctx, "k05", "k10", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 5 || sub[0].Key != "k05" || sub[4].Key != "k09" {
+		t.Fatalf("sub-range scan: %+v", sub)
+	}
+
+	if err := c.Delete(ctx, "k07"); err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err = c.Scan(ctx, "k05", "k10", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sub {
+		if e.Key == "k07" {
+			t.Fatal("deleted shard still in scan")
+		}
+	}
+	if len(sub) != 4 {
+		t.Fatalf("sub-range after delete: %d entries", len(sub))
+	}
+}
+
+// TestScanContinuationToken: a limited page stops at the limit with a
+// resumable token (last key + \x00); walking tokens reassembles the exact
+// ordered range with no duplicates or gaps.
+func TestScanContinuationToken(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, 3)
+	var want []string
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if err := c.Put(ctx, k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, k)
+	}
+	sort.Strings(want)
+
+	var got []string
+	cursor, pages := "", 0
+	for {
+		entries, next, err := c.Scan(ctx, cursor, "", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) > 7 {
+			t.Fatalf("page of %d exceeds limit 7", len(entries))
+		}
+		for _, e := range entries {
+			got = append(got, e.Key)
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		if len(entries) > 0 && next != entries[len(entries)-1].Key+"\x00" {
+			t.Fatalf("token %q does not resume after %q", next, entries[len(entries)-1].Key)
+		}
+		cursor = next
+		if pages > 30 {
+			t.Fatal("scan never exhausted")
+		}
+	}
+	if pages < 5 {
+		t.Fatalf("30 keys at limit 7 took %d pages", pages)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("paged scan reassembled %v, want %v", got, want)
+	}
+}
+
+// TestScanIteratorRefetch: the client-side Iterator refetches pages through
+// continuation tokens transparently — callers see one seamless cursor.
+func TestScanIteratorRefetch(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, 3)
+	want := make(map[string]byte)
+	for i := 0; i < 41; i++ {
+		k := fmt.Sprintf("s%03d", i)
+		if err := c.Put(ctx, k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = byte(i)
+	}
+	it := c.Iterator(ctx, "", "", 5)
+	var keys []string
+	for it.Next() {
+		e := it.Entry()
+		if want[e.Key] != e.Value[0] {
+			t.Fatalf("iterator %q = %v", e.Key, e.Value)
+		}
+		keys = append(keys, e.Key)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("iterator walked %d keys, want %d", len(keys), len(want))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("iterator out of order: %v", keys)
+	}
+
+	// A bounded sub-range walk honors the exclusive upper bound.
+	it = c.Iterator(ctx, "s010", "s020", 3)
+	keys = keys[:0]
+	for it.Next() {
+		keys = append(keys, it.Entry().Key)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 10 || keys[0] != "s010" || keys[9] != "s019" {
+		t.Fatalf("bounded iterator: %v", keys)
+	}
+}
+
+// TestScanUnsupportedBackend: a backend without the ordered-map capability
+// fails scans with the uniform ErrUnsupported — through both the one-page
+// call and the Iterator.
+func TestScanUnsupportedBackend(t *testing.T) {
+	ctx := context.Background()
+	c := newKVOnlyServer(t)
+	if err := c.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Scan(ctx, "", "", 0); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("scan on kv-only backend: %v", err)
+	}
+	it := c.Iterator(ctx, "", "", 0)
+	if it.Next() {
+		t.Fatal("iterator yielded an entry on kv-only backend")
+	}
+	if err := it.Err(); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("iterator error: %v", err)
+	}
+}
+
+// firstItemErr flattens a per-item batch outcome into its first failure.
+func firstItemErr(errs []error, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// TestCapabilityOpcodeMatrix pins the capability × opcode contract: every
+// opcode against a full store backend and a bare KV backend. Ops gated on a
+// missing capability (ordered-map scan, durability barrier, scrubber,
+// service control) fail with exactly CodeUnsupported — uniformly matchable
+// via errors.Is(err, ErrUnsupported) — never a panic or a misclassified
+// internal error.
+func TestCapabilityOpcodeMatrix(t *testing.T) {
+	ctx := context.Background()
+	_, full := newTestServer(t, 2)
+	kvOnly := newKVOnlyServer(t)
+
+	rows := []struct {
+		op         string
+		call       func(c *Client) error
+		wantKVOnly error // nil = must succeed; matrix order is load-bearing
+	}{
+		{"put", func(c *Client) error { return c.Put(ctx, "m-put", []byte("v")) }, nil},
+		{"get", func(c *Client) error { _, err := c.Get(ctx, "seed"); return err }, nil},
+		{"delete", func(c *Client) error { return c.Delete(ctx, "del-seed") }, nil},
+		{"list", func(c *Client) error { _, err := c.List(ctx); return err }, nil},
+		{"stats", func(c *Client) error { _, err := c.Stats(ctx); return err }, nil},
+		{"mget", func(c *Client) error { _, err := c.MGet(ctx, []string{"seed"}); return err }, nil},
+		{"mput", func(c *Client) error {
+			return firstItemErr(c.MPut(ctx, []string{"m-mput"}, [][]byte{[]byte("v")}))
+		}, nil},
+		{"mdelete", func(c *Client) error {
+			return firstItemErr(c.MDelete(ctx, []string{"mdel-seed"}))
+		}, nil},
+		{"scan", func(c *Client) error { _, _, err := c.Scan(ctx, "", "", 0); return err }, ErrUnsupported},
+		{"put_durable", func(c *Client) error { return c.PutDurable(ctx, "m-dur", []byte("v")) }, ErrUnsupported},
+		{"mput_durable", func(c *Client) error {
+			return firstItemErr(c.MPutDurable(ctx, []string{"m-mdur"}, [][]byte{[]byte("v")}))
+		}, ErrUnsupported},
+		{"flush", func(c *Client) error { return c.Flush(ctx, 0) }, ErrUnsupported},
+		{"scrub", func(c *Client) error { _, err := c.Scrub(ctx, 0); return err }, ErrUnsupported},
+		{"scrub_status", func(c *Client) error { _, err := c.ScrubStatus(ctx, 0); return err }, ErrUnsupported},
+		{"remove_disk", func(c *Client) error { return c.RemoveDisk(ctx, 0) }, ErrUnsupported},
+		{"return_disk", func(c *Client) error { return c.ReturnDisk(ctx, 0) }, ErrUnsupported},
+	}
+
+	for _, tc := range []struct {
+		backend string
+		c       *Client
+		want    func(i int) error
+	}{
+		{"full", full, func(int) error { return nil }},
+		{"kv-only", kvOnly, func(i int) error { return rows[i].wantKVOnly }},
+	} {
+		t.Run(tc.backend, func(t *testing.T) {
+			for _, k := range []string{"seed", "del-seed", "mdel-seed"} {
+				if err := tc.c.Put(ctx, k, []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, row := range rows {
+				err := row.call(tc.c)
+				switch want := tc.want(i); {
+				case want == nil && err != nil:
+					t.Errorf("%s: %v, want success", row.op, err)
+				case want != nil && !errors.Is(err, want):
+					t.Errorf("%s: %v, want %v", row.op, err, want)
+				case want != nil:
+					var we *WireError
+					if !errors.As(err, &we) || we.Code != CodeUnsupported {
+						t.Errorf("%s: code %v, want uniform CodeUnsupported", row.op, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchPerItemOutcomesKVOnly drives the multi-ops against a backend
+// WITHOUT store.BatchKV — the server's per-item fallback loop — with mixed
+// present/missing keys and an oversized item, checking outcomes land at the
+// right slots and the connection outlives the oversized rejection.
+func TestBatchPerItemOutcomesKVOnly(t *testing.T) {
+	ctx := context.Background()
+	c := newKVOnlyServer(t)
+	for _, k := range []string{"a", "c"} {
+		if err := c.Put(ctx, k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := c.MGet(ctx, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || !bytes.Equal(res[0].Value, []byte("v-a")) {
+		t.Fatalf("mget[0]: %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, ErrNotFound) {
+		t.Fatalf("mget[1] missing key: %v", res[1].Err)
+	}
+	if res[2].Err != nil || !bytes.Equal(res[2].Value, []byte("v-c")) {
+		t.Fatalf("mget[2]: %+v", res[2])
+	}
+
+	// Deletes are blind tombstone writes: a missing key succeeds too.
+	errs, err := c.MDelete(ctx, []string{"a", "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("mdelete outcomes: %v", errs)
+	}
+	if _, err := c.Get(ctx, "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("mdelete did not delete: %v", err)
+	}
+
+	errs, err = c.MPut(ctx, []string{"x", "y"}, [][]byte{[]byte("1"), []byte("2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("mput[%d]: %v", i, e)
+		}
+	}
+
+	// An oversized item rejects the whole frame client-side, before any
+	// byte hits the wire: no partial application, and the connection (and
+	// its pending map) survives for the next call.
+	big := make([]byte, MaxFrame+1)
+	if _, err := c.MPut(ctx, []string{"small", "big"}, [][]byte{[]byte("s"), big}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized mput: %v", err)
+	}
+	if _, err := c.Get(ctx, "small"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oversized mput partially applied: %v", err)
+	}
+	v, err := c.Get(ctx, "x")
+	if err != nil || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("connection after oversized frame: %q %v", v, err)
+	}
+	if n := c.pendingCount(); n != 0 {
+		t.Fatalf("pending map not drained: %d", n)
+	}
+}

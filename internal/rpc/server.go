@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -55,7 +56,11 @@ type Stats struct {
 // Optional control-plane capabilities a store.KV backend may implement.
 // *store.Store implements all of them; a backend that lacks one answers the
 // corresponding op with CodeUnsupported instead of forcing every future
-// backend to fake a scrubber or an IO scheduler.
+// backend to fake a scrubber or an IO scheduler. The request-plane
+// capabilities (store.BatchKV for the multi-ops' batched fast path,
+// store.OrderedKV for scan) are probed the same way: a missing capability
+// either falls back (batch → per-item calls) or answers CodeUnsupported
+// (scan — there is no sound point-read fallback for an ordered range).
 type (
 	flusher         interface{ Pump() error }
 	serviceRemover  interface{ RemoveFromService() error }
@@ -603,6 +608,8 @@ func (s *Server) dispatchInner(q *wireReq, sp *obs.Span) *wireResp {
 			}
 		}
 		return &wireResp{code: CodeOK}
+	case opScan:
+		return s.scan(q)
 	case opMGet:
 		return s.mGet(q.keys)
 	case opMPut:
@@ -677,6 +684,94 @@ func (s *Server) dispatchInner(q *wireReq, sp *obs.Span) *wireResp {
 	default:
 		return respErr(CodeBadRequest, fmt.Sprintf("unknown opcode %d", q.op))
 	}
+}
+
+// scanPageMax bounds the entries in one scan response when the client asks
+// for an unbounded page; scanByteBudget bounds the page's payload bytes so
+// the response frame stays well under MaxFrame even with large values. The
+// continuation token resumes the cursor where the page stopped.
+const (
+	scanPageMax    = 1024
+	scanByteBudget = 8 << 20
+)
+
+// scan serves the ordered-range op: a range spans the whole steering space,
+// so the server scans EVERY in-service backend and merges the pages (shard
+// ids steer to exactly one disk, so the per-disk pages are disjoint and the
+// merge is a sort). A backend that truncated its page caps the completeness
+// horizon at its last key — beyond it, that backend may hold unreturned
+// in-range shards, so entries past the horizon are withheld and the client
+// resumes via the continuation token. Any backend lacking the ordered-map
+// capability fails the whole op with the uniform CodeUnsupported: there is
+// no sound point-read fallback for a range.
+func (s *Server) scan(q *wireReq) *wireResp {
+	s.mu.Lock()
+	kvs := append([]store.KV(nil), s.kvs...)
+	s.mu.Unlock()
+	if len(kvs) == 0 {
+		return respErr(CodeBadRequest, "rpc: no disks")
+	}
+	effLimit := q.limit
+	if effLimit <= 0 || effLimit > scanPageMax {
+		effLimit = scanPageMax
+	}
+	horizon := "" // "" = complete everywhere
+	var merged []store.ScanEntry
+	anyMore := false
+	for _, kv := range kvs {
+		okv, ok := kv.(store.OrderedKV)
+		if !ok {
+			return respErr(CodeUnsupported, "backend cannot scan")
+		}
+		entries, more, err := okv.Scan(q.key, q.end, effLimit)
+		if err != nil {
+			if errors.Is(err, store.ErrOutOfService) {
+				continue // like list: out-of-service disks drop out
+			}
+			return errResp(err)
+		}
+		if more {
+			anyMore = true
+			if len(entries) > 0 {
+				if last := entries[len(entries)-1].Key; horizon == "" || last < horizon {
+					horizon = last
+				}
+			} else {
+				// A truncated page with zero survivors (every snapshot entry
+				// vanished before its chunks were read): nothing past the
+				// start is known complete.
+				horizon = q.key
+			}
+		}
+		merged = append(merged, entries...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	p := &wireResp{code: CodeOK}
+	more := anyMore
+	pageBytes := 0
+	for _, e := range merged {
+		if horizon != "" && e.Key > horizon {
+			break // incomplete beyond the horizon; anyMore already set
+		}
+		if len(p.keys) >= effLimit || (pageBytes > scanByteBudget && len(p.keys) > 0) {
+			more = true
+			break
+		}
+		p.keys = append(p.keys, e.Key)
+		p.values = append(p.values, e.Value)
+		pageBytes += len(e.Key) + len(e.Value)
+	}
+	if more {
+		if len(p.keys) > 0 {
+			p.next = p.keys[len(p.keys)-1] + "\x00"
+		} else {
+			// Empty page but the range is not exhausted: advance past the
+			// start key so the cursor always makes progress (the start itself
+			// can only be missing because it vanished mid-scan).
+			p.next = q.key + "\x00"
+		}
+	}
+	return p
 }
 
 // mGet steers each key independently, using the backend's batch entry point

@@ -11,11 +11,15 @@ import (
 // shim both lower into it, so the server has exactly one dispatch path.
 type wireReq struct {
 	op     Opcode
-	key    string
+	key    string // also the scan start bound
 	value  []byte
 	keys   []string
 	values [][]byte
 	disk   int
+	// end/limit are the scan range's exclusive upper bound ("" unbounded)
+	// and page limit (0 unbounded; the server clamps pages anyway).
+	end   string
+	limit int
 	// durable requests an acknowledgment only after the mutation is
 	// persistent (group commit). Carried in the v2 frame header's flag byte,
 	// not the payload; the v1 shim has no way to set it.
@@ -28,9 +32,10 @@ type wireResp struct {
 	msg  string
 
 	value     []byte       // get
-	keys      []string     // list
+	keys      []string     // list; scan page keys
 	itemCodes []Code       // mget/mput/mdelete per-item outcomes
-	values    [][]byte     // mget per-item values (parallel to itemCodes)
+	values    [][]byte     // mget per-item values (parallel to itemCodes); scan page values
+	next      string       // scan continuation token ("" = range exhausted)
 	stats     *Stats       // stats
 	scrub     *ScrubStatus // scrub, scrub_status
 	metrics   *obs.Snapshot
@@ -48,6 +53,10 @@ func encodeReq(q *wireReq) ([]byte, error) {
 		w.b = append(w.b, q.value...) // raw tail: no length, no base64
 	case opGet, opDelete:
 		w.str(q.key)
+	case opScan:
+		w.str(q.key)
+		w.str(q.end)
+		w.u32(uint32(q.limit))
 	case opList, opStats, opMetrics, opTrace, opSlowLog:
 		// empty payload
 	case opRemoveDisk, opReturnDisk, opFlush, opScrub, opScrubStatus:
@@ -87,6 +96,18 @@ func decodeReq(op Opcode, payload []byte) (*wireReq, error) {
 		if q.key, err = r.str(); err != nil {
 			return nil, err
 		}
+	case opScan:
+		if q.key, err = r.str(); err != nil {
+			return nil, err
+		}
+		if q.end, err = r.str(); err != nil {
+			return nil, err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		q.limit = int(n)
 	case opList, opStats, opMetrics, opTrace, opSlowLog:
 	case opRemoveDisk, opReturnDisk, opFlush, opScrub, opScrubStatus:
 		d, err := r.u32()
@@ -147,6 +168,13 @@ func encodeResp(op Opcode, p *wireResp) ([]byte, error) {
 		for _, k := range p.keys {
 			w.str(k)
 		}
+	case opScan:
+		w.u32(uint32(len(p.keys)))
+		for i, k := range p.keys {
+			w.str(k)
+			w.bytes(p.values[i])
+		}
+		w.str(p.next)
 	case opMGet:
 		w.u32(uint32(len(p.itemCodes)))
 		for i, c := range p.itemCodes {
@@ -214,6 +242,26 @@ func decodeResp(op Opcode, payload []byte) (*wireResp, error) {
 				return nil, err
 			}
 			p.keys = append(p.keys, k)
+		}
+	case opScan:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			k, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			p.keys = append(p.keys, k)
+			p.values = append(p.values, v)
+		}
+		if p.next, err = r.str(); err != nil {
+			return nil, err
 		}
 	case opMGet:
 		n, err := r.u32()

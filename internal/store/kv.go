@@ -37,7 +37,29 @@ type BatchKV interface {
 	DeleteBatch(ids []string) []error
 }
 
+// ScanEntry is one shard in a Scan result page.
+type ScanEntry struct {
+	Key   string
+	Value []byte
+}
+
+// OrderedKV is the optional ordered-map capability: backends whose key space
+// supports range iteration in byte order. The RPC server's scan op probes
+// for it and answers CodeUnsupported when any steered backend lacks it —
+// point-only backends remain first-class KV citizens.
+//
+// Scan returns the live shards in [start, end) in ascending key order,
+// bounded by limit (<= 0 means unbounded; empty end means unbounded). more
+// reports that in-range shards beyond the limit remain; resume the cursor
+// with start = lastKey + "\x00". Implementations must return a
+// snapshot-consistent page: the result reflects one logical point in time
+// even when flushes or compactions run concurrently.
+type OrderedKV interface {
+	Scan(start, end string, limit int) (entries []ScanEntry, more bool, err error)
+}
+
 var (
-	_ KV      = (*Store)(nil)
-	_ BatchKV = (*Store)(nil)
+	_ KV        = (*Store)(nil)
+	_ BatchKV   = (*Store)(nil)
+	_ OrderedKV = (*Store)(nil)
 )

@@ -109,28 +109,36 @@ func (c Config) withDefaults() Config {
 
 // storeMetrics holds the store-layer obs handles, resolved once at Open.
 type storeMetrics struct {
-	puts       *obs.Counter
-	gets       *obs.Counter
-	deletes    *obs.Counter
-	getErrors  *obs.Counter
-	putErrors  *obs.Counter
-	putLat     *obs.Histogram
-	getLat     *obs.Histogram
-	deleteLat  *obs.Histogram
-	shardCount *obs.Gauge
+	puts        *obs.Counter
+	gets        *obs.Counter
+	deletes     *obs.Counter
+	getErrors   *obs.Counter
+	putErrors   *obs.Counter
+	scans       *obs.Counter
+	scanEntries *obs.Counter
+	scanErrors  *obs.Counter
+	putLat      *obs.Histogram
+	getLat      *obs.Histogram
+	deleteLat   *obs.Histogram
+	scanLat     *obs.Histogram
+	shardCount  *obs.Gauge
 }
 
 func newStoreMetrics(o *obs.Obs) storeMetrics {
 	return storeMetrics{
-		puts:       o.Counter("store.puts"),
-		gets:       o.Counter("store.gets"),
-		deletes:    o.Counter("store.deletes"),
-		getErrors:  o.Counter("store.get_errors"),
-		putErrors:  o.Counter("store.put_errors"),
-		putLat:     o.Histogram("store.put_lat"),
-		getLat:     o.Histogram("store.get_lat"),
-		deleteLat:  o.Histogram("store.delete_lat"),
-		shardCount: o.Gauge("store.shards"),
+		puts:        o.Counter("store.puts"),
+		gets:        o.Counter("store.gets"),
+		deletes:     o.Counter("store.deletes"),
+		getErrors:   o.Counter("store.get_errors"),
+		putErrors:   o.Counter("store.put_errors"),
+		scans:       o.Counter("store.scans"),
+		scanEntries: o.Counter("store.scan_entries"),
+		scanErrors:  o.Counter("store.scan_errors"),
+		putLat:      o.Histogram("store.put_lat"),
+		getLat:      o.Histogram("store.get_lat"),
+		deleteLat:   o.Histogram("store.delete_lat"),
+		scanLat:     o.Histogram("store.scan_lat"),
+		shardCount:  o.Gauge("store.shards"),
 	}
 }
 

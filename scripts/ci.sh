@@ -71,4 +71,9 @@ go test -race -timeout 300s -run 'TestCompactionForegroundRaceHammer' -count=1 .
 echo "== committed benchmark snapshots (BENCH_PR6.json / BENCH_PR7.json parse and are current)"
 go test -run 'TestBenchSnapshotCurrent|TestReadBenchSnapshotCurrent' -count=1 .
 
+echo "== scan conformance gate (ordered-map lockstep, detection + honesty, RPC cursor walk)"
+go test -run 'TestScanLockstepRandomOps|TestScanCursorWalk|TestScanTornLevelSwapFault|TestScanFaultPathDeadWhenDisarmed' -count=1 ./internal/lsm/
+go test -run 'TestScanConformanceSmoke|TestScanTornLevelSwapDetected|TestScanVerdictHonesty' -count=1 ./internal/core/
+go test -run 'TestScanOverRPC|TestScanContinuationToken|TestScanIteratorRefetch|TestScanUnsupportedBackend|TestCapabilityOpcodeMatrix' -count=1 ./internal/rpc/
+
 echo "CI PASS"
